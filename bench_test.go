@@ -1,0 +1,154 @@
+// Benchmark harness: one benchmark per paper artifact (both Figure 1 panels
+// and every finding treated as a table), plus ablations and simulator
+// throughput microbenchmarks.
+//
+// Each experiment benchmark executes the full-size experiment — the same
+// code path as `cmd/sweep -exp <id>` — so `go test -bench=.` regenerates
+// every number in EXPERIMENTS.md. Experiment iterations are seconds long;
+// expect b.N == 1.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/native"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+var benchSink any
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(id, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}
+
+// ratioAtTop extracts, from the last row of the first table, the ratio in
+// the given column — used to attach the headline number to the benchmark
+// output.
+func ratioAtTop(b *testing.B, id string, col int, metric string) {
+	b.Helper()
+	res, err := exp.Run(id, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	last := rows[len(rows)-1]
+	var v float64
+	if _, err := fscan(last[col], &v); err != nil {
+		b.Fatalf("cannot parse %q: %v", last[col], err)
+	}
+	b.ReportMetric(v, metric)
+	benchSink = res
+}
+
+// fscan is a minimal float parser (the cells are produced by this repo).
+func fscan(s string, out *float64) (int, error) {
+	var v, div float64 = 0, 1
+	frac := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '.':
+			frac = true
+		case c >= '0' && c <= '9':
+			v = v*10 + float64(c-'0')
+			if frac {
+				div *= 10
+			}
+		default:
+			return 0, errBadFloat
+		}
+	}
+	*out = v / div
+	return 1, nil
+}
+
+type benchErr string
+
+func (e benchErr) Error() string { return string(e) }
+
+const errBadFloat = benchErr("bad float")
+
+// --- Figure 1 -------------------------------------------------------------
+
+func BenchmarkFig1Misses(b *testing.B)  { benchExperiment(b, "fig1-misses") }
+func BenchmarkFig1Speedup(b *testing.B) { benchExperiment(b, "fig1-speedup") }
+
+// BenchmarkFig1Headline reports the paper's headline ratios at 32 cores as
+// benchmark metrics: ws/pdf MPKI and pdf/ws speedup.
+func BenchmarkFig1Headline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ratioAtTop(b, "fig1-speedup", 3, "pdf/ws-speedup@32c")
+	}
+}
+
+// --- Findings ---------------------------------------------------------------
+
+func BenchmarkT1DivideConquer(b *testing.B) { benchExperiment(b, "t1-dc") }
+func BenchmarkT1Irregular(b *testing.B)     { benchExperiment(b, "t1-irregular") }
+func BenchmarkT2Neutral(b *testing.B)       { benchExperiment(b, "t2-neutral") }
+func BenchmarkT3PowerDown(b *testing.B)     { benchExperiment(b, "t3-power") }
+func BenchmarkT4Multiprogram(b *testing.B)  { benchExperiment(b, "t4-multiprog") }
+func BenchmarkT5CoarseGrain(b *testing.B)   { benchExperiment(b, "t5-coarse") }
+
+// --- Ablations --------------------------------------------------------------
+
+func BenchmarkA1Grain(b *testing.B)     { benchExperiment(b, "a1-grain") }
+func BenchmarkA2L2Size(b *testing.B)    { benchExperiment(b, "a2-l2size") }
+func BenchmarkA3Bandwidth(b *testing.B) { benchExperiment(b, "a3-bandwidth") }
+func BenchmarkA4Policies(b *testing.B)  { benchExperiment(b, "a4-stealpolicy") }
+func BenchmarkA5Premature(b *testing.B) { benchExperiment(b, "a5-premature") }
+
+// --- Simulator throughput ----------------------------------------------------
+
+// BenchmarkEngineThroughput measures simulated instructions per wall-clock
+// second on a mid-size mergesort: the cost of the instrument itself.
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := machine.Default(8)
+	o := exp.OverheadsOf(cfg)
+	spec := workloads.Spec{Name: "mergesort", N: 1 << 16, Grain: 1024, Seed: 3}
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		in := workloads.Build(spec)
+		r := sim.New(cfg, in.Graph, core.NewPDF(o), nil).Run()
+		instr = r.Instructions
+	}
+	b.ReportMetric(float64(instr)*float64(b.N)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+// BenchmarkDAGBuild measures workload construction cost alone.
+func BenchmarkDAGBuild(b *testing.B) {
+	spec := workloads.Spec{Name: "mergesort", N: 1 << 16, Grain: 1024, Seed: 3}
+	for i := 0; i < b.N; i++ {
+		benchSink = workloads.Build(spec)
+	}
+}
+
+// BenchmarkNativeRuntime runs the goroutine-backed executors on a real
+// workload (not a measured claim — a usability check that the adoptable
+// runtime keeps up).
+func BenchmarkNativeRuntime(b *testing.B) {
+	for _, pol := range []native.Policy{native.WorkStealing, native.ParallelDepthFirst} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in := workloads.Build(workloads.Spec{Name: "mergesort", N: 1 << 15, Grain: 512, Seed: 3})
+				if err := native.Run(in.Graph, 8, pol); err != nil {
+					b.Fatal(err)
+				}
+				if err := in.Verify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

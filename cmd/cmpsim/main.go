@@ -1,0 +1,81 @@
+// Command cmpsim runs one workload under one scheduler on one simulated CMP
+// configuration and prints the measured metrics — the smallest unit of the
+// reproduction.
+//
+// Usage:
+//
+//	cmpsim -workload mergesort -cores 16 -sched pdf [-n 524288] [-grain 2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/exp"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mergesort", "one of: mergesort, mergesort-coarse, quicksort, matmul, spmv, scan, fft, lu, histogram")
+		n        = flag.Int("n", 1<<19, "problem size (elements or matrix dimension)")
+		grain    = flag.Int("grain", 2048, "task granularity in elements")
+		iters    = flag.Int("iters", 0, "iterations for iterative workloads (0 = default)")
+		cores    = flag.Int("cores", 8, "number of cores (1-64); default CMP config is derived")
+		sched    = flag.String("sched", "pdf", "scheduler: pdf, ws, ws-stealnewest, fifo")
+		seed     = flag.Uint64("seed", exp.Seed, "workload data seed")
+		shape    = flag.Bool("shape", false, "print DAG shape statistics and exit")
+		attr     = flag.Bool("attr", false, "attribute off-chip traffic to the workload's arrays")
+		timeline = flag.Bool("timeline", false, "dump the schedule as CSV (node,label,core,start,end) to stdout")
+	)
+	flag.Parse()
+
+	spec := workloads.Spec{Name: *workload, N: *n, Grain: *grain, Iters: *iters, Seed: *seed}
+	cfg := machine.Default(*cores)
+
+	if *shape {
+		in := workloads.Build(spec)
+		fmt.Printf("%v: %v, footprint %.2f MiB\n", spec, dag.Analyze(in.Graph),
+			float64(in.Footprint())/(1<<20))
+		return
+	}
+
+	fmt.Printf("config:   %v\n", cfg)
+	fmt.Printf("workload: %v\n", spec)
+
+	in := workloads.Build(spec)
+	s := core.ByName(*sched, exp.OverheadsOf(cfg), exp.Seed)
+	e := sim.New(cfg, in.Graph, s, nil)
+	var attribution *cache.Attribution
+	if *attr {
+		attribution = e.Hierarchy().EnableAttribution(in.Space)
+	}
+	e.CaptureTimeline = *timeline
+	r := e.Run()
+	r.Workload = spec.Name
+	if err := in.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("result:   %v\n", r)
+	fmt.Printf("          L1 MPKI %.3f | L2 MPKI %.3f | bus util %.2f | utilization %.2f | premature hw %d\n",
+		r.L1MPKI(), r.L2MPKI(), r.BusUtilization, r.Utilization(), r.MaxPremature)
+	if attribution != nil {
+		fmt.Println("off-chip traffic by array:")
+		for _, e := range attribution.Report() {
+			fmt.Printf("          %-12s %8.2f MiB\n", e.Name, float64(e.MissBytes)/(1<<20))
+		}
+	}
+	if *timeline {
+		fmt.Println("node,label,core,start,end")
+		for _, sp := range e.Timeline {
+			fmt.Printf("%d,%s,%d,%d,%d\n", sp.Node, in.Graph.Node(sp.Node).Label, sp.Core, sp.Start, sp.End)
+		}
+	}
+}

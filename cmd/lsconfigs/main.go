@@ -1,0 +1,27 @@
+// Command lsconfigs prints the default CMP configurations the area model
+// produces for the paper's 1-32 core sweep, at both the simulation scale
+// and full scale, so the die-area substitution documented in DESIGN.md is
+// auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+func main() {
+	scale := flag.Float64("scale", machine.DefaultScale, "cache scale factor (1.0 = full size)")
+	flag.Parse()
+
+	fmt.Printf("die %.0f mm^2, usable fraction %.2f, scale %.3f\n\n",
+		machine.DieMM2, machine.UsableFraction, *scale)
+	for _, cores := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := machine.Scaled(cores, *scale)
+		tech := machine.TechForCores(cores)
+		coreArea := float64(cores) * tech.CoreMM2
+		fmt.Printf("%v\n    cores use %.1f mm^2, L2 latency %d cyc, mem %d cyc\n",
+			cfg, coreArea, cfg.L2Lat, cfg.MemLat)
+	}
+}

@@ -1,0 +1,54 @@
+// Command sweep regenerates the paper's figures and findings tables by
+// experiment id (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	sweep -exp fig1-misses          # one experiment
+//	sweep -exp all                  # the whole evaluation
+//	sweep -exp fig1-speedup -csv    # machine-readable series
+//	sweep -list                     # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id, or 'all'")
+		quick = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.IDs() {
+			fmt.Printf("%-15s %s\n", e, exp.Describe(e))
+		}
+		return
+	}
+
+	ids := exp.IDs()
+	if *id != "all" {
+		ids = []string{*id}
+	}
+	for _, e := range ids {
+		res, err := exp.Run(e, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e, err)
+			os.Exit(1)
+		}
+		for _, t := range res.Tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+	}
+}

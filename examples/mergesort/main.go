@@ -1,0 +1,36 @@
+// Figure 1 reproduction: parallel merge sort under PDF and WS across the
+// default 1-32 core CMP configurations — both panels (L2 misses per 1000
+// instructions, and speedup over one core).
+//
+//	go run ./examples/mergesort          # full sizes (takes a few minutes)
+//	go run ./examples/mergesort -quick   # reduced sizes
+//	go run ./examples/mergesort -csv     # series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	csv := flag.Bool("csv", false, "emit CSV series")
+	flag.Parse()
+
+	for _, id := range []string{"fig1-misses", "fig1-speedup"} {
+		res, err := exp.Run(id, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range res.Tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+	}
+}

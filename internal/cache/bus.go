@@ -1,0 +1,63 @@
+package cache
+
+// Bus models the finite off-chip bandwidth that makes the paper's
+// "bandwidth-limited" benchmark class bandwidth-limited. Every off-chip
+// transfer (miss fill or dirty writeback) occupies the bus for
+// lineSize/BytesPerCycle cycles; concurrent requests queue FIFO. DRAM access
+// latency itself is pipelined (multiple outstanding misses overlap their
+// latency, but never their bus occupancy), which is the standard bandwidth
+// bottleneck abstraction.
+type Bus struct {
+	bytesPerCycle float64
+	freeAt        int64
+
+	Transfers   int64
+	Bytes       int64
+	QueueCycles int64 // total cycles requests spent waiting for the bus
+	BusyCycles  int64 // total cycles the bus spent transferring
+}
+
+// NewBus returns a bus with the given sustained bandwidth in bytes/cycle.
+// Zero or negative bandwidth means infinite (no bus modeling).
+func NewBus(bytesPerCycle float64) *Bus {
+	return &Bus{bytesPerCycle: bytesPerCycle}
+}
+
+// BytesPerCycle returns the configured bandwidth (0 = infinite).
+func (b *Bus) BytesPerCycle() float64 { return b.bytesPerCycle }
+
+// Transfer schedules an off-chip transfer of the given size requested at
+// cycle now, returning when the transfer completes. Blocking transfers (miss
+// fills) should add memory latency on top of the returned cycle; writebacks
+// can ignore the return value.
+func (b *Bus) Transfer(now int64, bytes int) (done int64) {
+	b.Transfers++
+	b.Bytes += int64(bytes)
+	if b.bytesPerCycle <= 0 {
+		return now
+	}
+	dur := int64(float64(bytes)/b.bytesPerCycle + 0.999999)
+	if dur < 1 {
+		dur = 1
+	}
+	start := now
+	if b.freeAt > start {
+		b.QueueCycles += b.freeAt - start
+		start = b.freeAt
+	}
+	b.freeAt = start + dur
+	b.BusyCycles += dur
+	return b.freeAt
+}
+
+// Utilization returns busy cycles / elapsed cycles given the run length.
+func (b *Bus) Utilization(totalCycles int64) float64 {
+	if totalCycles <= 0 {
+		return 0
+	}
+	u := float64(b.BusyCycles) / float64(totalCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

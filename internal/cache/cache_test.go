@@ -1,0 +1,378 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/xprng"
+)
+
+func smallParams(cores int) Params {
+	return Params{
+		Cores:    cores,
+		LineSize: 64,
+		L1Size:   1 << 10, // 1 KiB, 4-way: 4 sets
+		L1Ways:   4,
+		L2Size:   1 << 13, // 8 KiB, 8-way: 16 sets
+		L2Ways:   8,
+		BusBPC:   1,
+		Lat:      Latencies{L1: 1, L2: 15, Mem: 200},
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(smallParams(1))
+	t0 := h.Access(0, 0x1000, 8, false, 0)
+	if t0 <= 200 {
+		t.Fatalf("cold miss finished in %d cycles, should include memory latency", t0)
+	}
+	if h.L2().Stats.Misses != 1 || h.L1(0).Stats.Misses != 1 {
+		t.Fatalf("miss counters: l1=%+v l2=%+v", h.L1(0).Stats, h.L2().Stats)
+	}
+	t1 := h.Access(0, 0x1008, 8, false, t0)
+	if t1 != t0+1 {
+		t.Fatalf("same-line hit took %d cycles, want 1", t1-t0)
+	}
+	if h.L1(0).Stats.Hits != 1 {
+		t.Fatalf("hit not counted: %+v", h.L1(0).Stats)
+	}
+}
+
+func TestL2HitAfterL1Evict(t *testing.T) {
+	h := New(smallParams(1))
+	// Touch 5 lines mapping to the same L1 set (4-way): line 0 falls out of
+	// L1 but stays in L2 (16 sets, different sets or same set 8-way).
+	// L1 has 4 sets, so stride of 4 lines = 256B keeps the same L1 set.
+	base := mem.Addr(0)
+	for i := 0; i < 5; i++ {
+		h.Access(0, base+mem.Addr(i*256), 8, false, int64(i*1000))
+	}
+	misses := h.L2().Stats.Misses
+	h.Access(0, base, 8, false, 100000) // line 0: L1 miss, L2 hit
+	if h.L2().Stats.Misses != misses {
+		t.Fatalf("expected L2 hit, got miss (l2=%+v)", h.L2().Stats)
+	}
+	if h.L2().Stats.Hits == 0 {
+		t.Fatal("L2 hit not counted")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h := New(smallParams(1))
+	// Fill one L1 set (4 ways) with lines A,B,C,D; touch A again; insert E.
+	// Victim must be B (LRU), so A must still hit.
+	addrs := []mem.Addr{0, 256, 512, 768}
+	now := int64(0)
+	for _, a := range addrs {
+		now = h.Access(0, a, 8, false, now)
+	}
+	now = h.Access(0, addrs[0], 8, false, now) // touch A
+	now = h.Access(0, 1024, 8, false, now)     // insert E, evicts B
+	missesBefore := h.L1(0).Stats.Misses
+	now = h.Access(0, addrs[0], 8, false, now) // A should hit
+	if h.L1(0).Stats.Misses != missesBefore {
+		t.Fatal("LRU evicted the recently-touched line")
+	}
+	h.Access(0, addrs[1], 8, false, now) // B should miss
+	if h.L1(0).Stats.Misses != missesBefore+1 {
+		t.Fatal("expected B to have been the LRU victim")
+	}
+}
+
+func TestCrossLineAccessSplits(t *testing.T) {
+	h := New(smallParams(1))
+	h.Access(0, 60, 8, false, 0) // straddles lines 0 and 64
+	if got := h.L1(0).Stats.Accesses(); got != 2 {
+		t.Fatalf("straddling access performed %d line accesses, want 2", got)
+	}
+}
+
+func TestWriteInvalidatesOtherCore(t *testing.T) {
+	h := New(smallParams(2))
+	now := h.Access(0, 0, 8, false, 0) // core 0 reads
+	now = h.Access(1, 0, 8, false, now)
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 writes: core 0's copy must be invalidated.
+	now = h.Access(1, 0, 8, true, now)
+	missesBefore := h.L1(0).Stats.Misses
+	h.Access(0, 0, 8, false, now)
+	if h.L1(0).Stats.Misses != missesBefore+1 {
+		t.Fatal("core 0 still hit after core 1's write — no invalidation")
+	}
+	if h.L1(0).Stats.Invalidations == 0 {
+		t.Fatal("invalidation not counted")
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeOnSharedWrite(t *testing.T) {
+	h := New(smallParams(2))
+	now := h.Access(0, 0, 8, false, 0)
+	now = h.Access(1, 0, 8, false, now)
+	// Core 0 writes its shared copy: upgrade, not a miss.
+	missesBefore := h.L1(0).Stats.Misses
+	h.Access(0, 0, 8, true, now)
+	if h.L1(0).Stats.Misses != missesBefore {
+		t.Fatal("shared write counted as a miss")
+	}
+	if h.L1(0).Stats.Upgrades != 1 {
+		t.Fatalf("upgrades = %d, want 1", h.L1(0).Stats.Upgrades)
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyWritebackGoesOffchip(t *testing.T) {
+	p := smallParams(1)
+	h := New(p)
+	// Write a line, then stream enough lines through to evict it from L2.
+	h.Access(0, 0, 8, true, 0)
+	now := int64(1000)
+	nLines := int(p.L2Size)/p.LineSize + int(p.L2Size)/p.LineSize/2
+	for i := 1; i <= nLines; i++ {
+		now = h.Access(0, mem.Addr(i*64), 8, false, now)
+	}
+	if h.L2().Stats.Writebacks == 0 {
+		t.Fatal("dirty line eviction produced no writeback")
+	}
+	// Off-chip bytes must include both fills and the writeback.
+	wantMin := int64(nLines+1)*64 + 64
+	if h.OffchipBytes < wantMin {
+		t.Fatalf("offchip bytes %d < %d", h.OffchipBytes, wantMin)
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	p := smallParams(1)
+	h := New(p)
+	// Line 0 sits in L1 and is re-touched every round so L1's LRU never
+	// evicts it. The conflicting lines (stride 1024 = L2 set 0) overflow
+	// the 8-way L2 set; L2's LRU evicts line 0 (stale in L2, since L1 hits
+	// don't refresh L2), and inclusion must drop the fresh L1 copy.
+	now := h.Access(0, 0, 8, false, 0)
+	for i := 1; i <= 9; i++ {
+		now = h.Access(0, mem.Addr(i*1024), 8, false, now)
+		now = h.Access(0, 0, 8, false, now)
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+	if h.L1(0).Stats.Invalidations == 0 {
+		t.Fatal("L2 eviction did not back-invalidate L1")
+	}
+}
+
+func TestBusSerializesBandwidth(t *testing.T) {
+	b := NewBus(1) // 1 byte/cycle: 64B line takes 64 cycles
+	d1 := b.Transfer(0, 64)
+	if d1 != 64 {
+		t.Fatalf("first transfer done at %d, want 64", d1)
+	}
+	d2 := b.Transfer(0, 64)
+	if d2 != 128 {
+		t.Fatalf("queued transfer done at %d, want 128", d2)
+	}
+	if b.QueueCycles != 64 {
+		t.Fatalf("queue cycles %d, want 64", b.QueueCycles)
+	}
+	if b.Bytes != 128 || b.Transfers != 2 {
+		t.Fatalf("bus accounting: %+v", *b)
+	}
+}
+
+func TestInfiniteBus(t *testing.T) {
+	b := NewBus(0)
+	if d := b.Transfer(10, 64); d != 10 {
+		t.Fatalf("infinite bus delayed transfer to %d", d)
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	b := NewBus(2)
+	b.Transfer(0, 64) // 32 cycles busy
+	if u := b.Utilization(64); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := b.Utilization(0); u != 0 {
+		t.Fatal("zero-cycle utilization should be 0")
+	}
+}
+
+func TestMaskedWaysShrinkCapacity(t *testing.T) {
+	full := NewSetAssoc("f", 1<<13, 8, 64, 0)
+	half := NewSetAssoc("h", 1<<13, 8, 64, 4)
+	if half.Size() != full.Size()/2 {
+		t.Fatalf("masked size %d, want %d", half.Size(), full.Size()/2)
+	}
+	// With 4 of 8 ways masked, 5 lines in one set must cause an eviction.
+	h := New(Params{Cores: 1, LineSize: 64, L1Size: 1 << 10, L1Ways: 4,
+		L2Size: 1 << 13, L2Ways: 8, L2MaskedWays: 4, BusBPC: 0,
+		Lat: Latencies{L1: 1, L2: 10, Mem: 100}})
+	now := int64(0)
+	for i := 0; i < 5; i++ {
+		now = h.Access(0, mem.Addr(i*1024), 8, false, now) // all map to L2 set 0
+	}
+	if h.L2().Stats.Evictions == 0 {
+		t.Fatal("masked L2 set held more lines than its powered-on ways")
+	}
+}
+
+func TestMissLatencyOrdering(t *testing.T) {
+	// L2 hit must be faster than L2 miss; L1 hit fastest.
+	h := New(smallParams(1))
+	tMiss := h.Access(0, 0, 8, false, 0)
+	tL1 := h.Access(0, 0, 8, false, tMiss) - tMiss
+	// Evict line 0 from L1 only (4-way sets, stride 256).
+	now := tMiss + tL1
+	for i := 1; i <= 4; i++ {
+		now = h.Access(0, mem.Addr(i*256), 8, false, now)
+	}
+	tL2 := h.Access(0, 0, 8, false, now) - now
+	if !(tL1 < tL2 && tL2 < tMiss) {
+		t.Fatalf("latency ordering broken: L1=%d L2=%d mem=%d", tL1, tL2, tMiss)
+	}
+}
+
+func TestInclusionPropertyRandomTraffic(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xprng.New(seed)
+		cores := rng.Intn(4) + 1
+		h := New(smallParams(cores))
+		now := int64(0)
+		for i := 0; i < 2000; i++ {
+			core := rng.Intn(cores)
+			addr := mem.Addr(rng.Intn(1 << 15))
+			write := rng.Intn(3) == 0
+			now = h.Access(core, addr, 8, write, now)
+		}
+		return h.CheckInclusion() == nil
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUStackProperty(t *testing.T) {
+	// Inclusion-property of LRU: a trace run against a larger-associativity
+	// cache of the same set count can only hit more, never less.
+	rng := xprng.New(9)
+	trace := make([]mem.Addr, 5000)
+	for i := range trace {
+		trace[i] = mem.Addr(rng.Intn(1 << 13))
+	}
+	var prevHits int64 = -1
+	for _, ways := range []int{1, 2, 4, 8} {
+		c := NewSetAssoc("c", int64(ways)*16*64, ways, 64, 0) // 16 sets each
+		var hits int64
+		for _, a := range trace {
+			tag := c.lineAddr(a)
+			if ln := c.lookup(tag); ln != nil {
+				c.touch(ln)
+				hits++
+			} else {
+				v := c.victim(tag)
+				*v = line{tag: tag, valid: true}
+				c.touch(v)
+			}
+		}
+		if hits < prevHits {
+			t.Fatalf("LRU stack property violated: %d ways hit %d < %d", ways, hits, prevHits)
+		}
+		prevHits = hits
+	}
+}
+
+func TestCountValidBySpace(t *testing.T) {
+	h := New(smallParams(1))
+	s0 := mem.NewSpace(0)
+	s1 := mem.NewSpace(1)
+	a0 := s0.Alloc("a", 1024, 0)
+	a1 := s1.Alloc("a", 1024, 0)
+	now := int64(0)
+	for i := 0; i < 4; i++ {
+		now = h.Access(0, a0+mem.Addr(i*64), 8, false, now)
+	}
+	for i := 0; i < 2; i++ {
+		now = h.Access(0, a1+mem.Addr(i*64), 8, false, now)
+	}
+	total, in0 := h.L2().CountValid(0)
+	_, in1 := h.L2().CountValid(1)
+	if total != 6 || in0 != 4 || in1 != 2 {
+		t.Fatalf("occupancy: total=%d space0=%d space1=%d", total, in0, in1)
+	}
+}
+
+func TestWorkingSetProfiler(t *testing.T) {
+	ws := NewWorkingSet(64)
+	for i := 0; i < 100; i++ {
+		ws.Touch(mem.Addr(i * 64))
+	}
+	for i := 0; i < 100; i++ {
+		ws.Touch(mem.Addr(i * 64)) // repeats: no growth
+	}
+	if ws.DistinctLines() != 100 {
+		t.Fatalf("distinct lines = %d, want 100", ws.DistinctLines())
+	}
+	if ws.DistinctBytes() != 6400 {
+		t.Fatalf("distinct bytes = %d", ws.DistinctBytes())
+	}
+	if hw := ws.WindowHighWaterLines(); hw != 100 {
+		t.Fatalf("window high water = %d, want 100", hw)
+	}
+	// Same-line offsets must not count twice.
+	ws2 := NewWorkingSet(64)
+	ws2.Touch(0)
+	ws2.Touch(8)
+	ws2.Touch(63)
+	if ws2.DistinctLines() != 1 {
+		t.Fatalf("sub-line touches counted separately: %d", ws2.DistinctLines())
+	}
+}
+
+func TestWorkingSetWindowSlides(t *testing.T) {
+	ws := NewWorkingSet(64)
+	// Touch one line far more times than the window, then a second line.
+	for i := 0; i < DefaultWSWindow*2; i++ {
+		ws.Touch(0)
+	}
+	hw := ws.WindowHighWaterLines()
+	if hw != 1 {
+		t.Fatalf("single-line stream has window high water %d, want 1", hw)
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewSetAssoc("x", 1000, 4, 64, 0) },  // size not divisible
+		func() { NewSetAssoc("x", 1<<12, 4, 60, 0) }, // line not pow2
+		func() { NewSetAssoc("x", 1<<12, 4, 64, 4) }, // all ways masked
+		func() { New(Params{Cores: 0}) },
+		func() { New(Params{Cores: 65}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := LevelStats{Hits: 3, Misses: 1}
+	if s.Accesses() != 4 || s.MissRate() != 0.25 {
+		t.Fatalf("stats helpers wrong: %+v", s)
+	}
+	var empty LevelStats
+	if empty.MissRate() != 0 {
+		t.Fatal("empty miss rate should be 0")
+	}
+}

@@ -1,0 +1,324 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Latencies holds the access times of each level, in core cycles.
+type Latencies struct {
+	L1  int64 // hit latency of a private L1
+	L2  int64 // additional latency of a shared L2 hit
+	Mem int64 // additional latency of a DRAM access after bus grant
+}
+
+// Params configures a Hierarchy.
+type Params struct {
+	Cores        int
+	LineSize     int
+	L1Size       int64
+	L1Ways       int
+	L2Size       int64
+	L2Ways       int
+	L2MaskedWays int     // powered-down L2 ways (t3-power experiment)
+	BusBPC       float64 // off-chip bytes per cycle; 0 = infinite
+	Lat          Latencies
+}
+
+// Hierarchy is the full simulated memory system: per-core private L1s above
+// one shared, inclusive L2 with a sharer-bitvector directory, above a
+// bandwidth-limited bus to memory.
+//
+// Coherence is write-invalidate (MESI-like without the fine distinctions):
+// a core must hold a line exclusively in its L1 to write it; obtaining
+// exclusivity invalidates other L1 copies via the directory. Inclusion is
+// enforced: evicting an L2 line invalidates all L1 copies.
+type Hierarchy struct {
+	params Params
+	l1     []*SetAssoc
+	l2     *SetAssoc
+	bus    *Bus
+
+	// OffchipTransfers counts demand fills + writebacks; OffchipBytes is
+	// the paper's off-chip traffic metric.
+	OffchipTransfers int64
+	OffchipBytes     int64
+
+	ws   *WorkingSet  // optional profiler, nil when disabled
+	attr *Attribution // optional traffic attribution, nil when disabled
+}
+
+// New builds a hierarchy. It panics on inconsistent geometry — experiment
+// configurations are programmer input, not user input.
+func New(p Params) *Hierarchy {
+	if p.Cores <= 0 {
+		panic("cache: hierarchy needs at least one core")
+	}
+	if p.Cores > 64 {
+		panic("cache: directory bitvector supports at most 64 cores")
+	}
+	h := &Hierarchy{
+		params: p,
+		l2:     NewSetAssoc("L2", p.L2Size, p.L2Ways, p.LineSize, p.L2MaskedWays),
+		bus:    NewBus(p.BusBPC),
+	}
+	for c := 0; c < p.Cores; c++ {
+		h.l1 = append(h.l1, NewSetAssoc(fmt.Sprintf("L1.%d", c), p.L1Size, p.L1Ways, p.LineSize, 0))
+	}
+	return h
+}
+
+// Params returns the construction parameters.
+func (h *Hierarchy) Params() Params { return h.params }
+
+// L1 returns core c's private cache (for stats and tests).
+func (h *Hierarchy) L1(c int) *SetAssoc { return h.l1[c] }
+
+// L2 returns the shared cache.
+func (h *Hierarchy) L2() *SetAssoc { return h.l2 }
+
+// Bus returns the off-chip bus.
+func (h *Hierarchy) Bus() *Bus { return h.bus }
+
+// EnableWorkingSet attaches a working-set profiler.
+func (h *Hierarchy) EnableWorkingSet() *WorkingSet {
+	h.ws = NewWorkingSet(h.params.LineSize)
+	return h.ws
+}
+
+// Access simulates core performing a read or write of size bytes at addr,
+// issued at cycle now. It returns the cycle at which the access completes.
+// Accesses spanning multiple lines are split and serialized, as an in-order
+// core would.
+func (h *Hierarchy) Access(core int, addr mem.Addr, size int, write bool, now int64) int64 {
+	if size <= 0 {
+		size = 1
+	}
+	ls := mem.Addr(h.params.LineSize)
+	first := mem.LineAddr(addr, uint64(ls))
+	last := mem.LineAddr(addr+mem.Addr(size-1), uint64(ls))
+	t := now
+	for la := first; ; la += ls {
+		t = h.accessLine(core, la, write, t)
+		if la == last {
+			break
+		}
+	}
+	return t
+}
+
+// accessLine performs the coherent lookup/fill protocol for a single line.
+func (h *Hierarchy) accessLine(core int, lineAddr mem.Addr, write bool, now int64) int64 {
+	if h.ws != nil {
+		h.ws.Touch(lineAddr)
+	}
+	l1 := h.l1[core]
+	tag := l1.lineAddr(lineAddr)
+
+	if ln := l1.lookup(tag); ln != nil {
+		l1.touch(ln)
+		if !write {
+			l1.Stats.Hits++
+			return now + h.params.Lat.L1
+		}
+		if ln.excl {
+			l1.Stats.Hits++
+			ln.dirty = true
+			return now + h.params.Lat.L1
+		}
+		// Write hit on a shared line: upgrade via the directory. This is
+		// an L1 hit for counting purposes (no fill), but pays an L2 trip.
+		l1.Stats.Hits++
+		l1.Stats.Upgrades++
+		h.invalidateOthers(core, tag)
+		ln.excl = true
+		ln.dirty = true
+		return now + h.params.Lat.L1 + h.params.Lat.L2
+	}
+
+	// L1 miss.
+	l1.Stats.Misses++
+	reqAt := now + h.params.Lat.L1 + h.params.Lat.L2
+	done := reqAt
+	l2tag := h.l2.lineAddr(lineAddr)
+	l2ln := h.l2.lookup(l2tag)
+	if l2ln == nil {
+		// L2 miss: off-chip fill. The bus is held for the line transfer;
+		// DRAM access latency itself pipelines across requesters.
+		h.l2.Stats.Misses++
+		grantDone := h.bus.Transfer(reqAt, h.params.LineSize)
+		h.OffchipTransfers++
+		h.OffchipBytes += int64(h.params.LineSize)
+		if h.attr != nil {
+			h.attr.record(lineAddr, h.params.LineSize)
+		}
+		done = grantDone + h.params.Lat.Mem
+		// The victim is chosen (and its writeback issued) when the miss
+		// reaches the L2, not after the fill returns — otherwise queued
+		// writebacks would be stamped into the future and artificially
+		// serialize later demand fills.
+		l2ln = h.fillL2(l2tag, reqAt)
+	} else {
+		h.l2.Stats.Hits++
+		h.l2.touch(l2ln)
+		// If another core holds the line dirty-exclusive, it must supply
+		// and downgrade (or surrender, on a write) its copy.
+		h.downgradeOwners(core, tag, write)
+	}
+
+	if write {
+		// Take exclusive ownership: drop all other sharers.
+		h.invalidateOthers(core, tag)
+		l2ln.sharers = 1 << uint(core)
+	} else {
+		l2ln.sharers |= 1 << uint(core)
+	}
+
+	h.fillL1(core, tag, write)
+	return done
+}
+
+// fillL2 inserts a missing line into the L2, handling inclusion back-
+// invalidation of L1 copies and a dirty writeback of the victim. now is the
+// time the miss reached the L2 (pre-DRAM), which is when the victim's
+// writeback occupies the bus.
+func (h *Hierarchy) fillL2(tag uint64, now int64) *line {
+	v := h.l2.victim(tag)
+	if v.valid {
+		h.l2.Stats.Evictions++
+		dirty := v.dirty
+		// Inclusion: every L1 copy of the victim must be dropped. A dirty
+		// L1 copy is newer than the L2's, so its data must go off-chip.
+		if v.sharers != 0 {
+			vTag := v.tag
+			for c := 0; c < h.params.Cores; c++ {
+				if v.sharers&(1<<uint(c)) != 0 {
+					if wasDirty, _ := h.l1[c].invalidate(vTag); wasDirty {
+						dirty = true
+					}
+				}
+			}
+		}
+		if dirty {
+			h.l2.Stats.Writebacks++
+			h.bus.Transfer(now, h.params.LineSize)
+			h.OffchipTransfers++
+			h.OffchipBytes += int64(h.params.LineSize)
+			if h.attr != nil {
+				h.attr.record(mem.Addr(v.tag<<h.l2.lineShift), h.params.LineSize)
+			}
+		}
+	}
+	*v = line{tag: tag, valid: true}
+	h.l2.touch(v)
+	return v
+}
+
+// fillL1 inserts a line into core's L1, writing a dirty victim back into
+// the (inclusive, hence guaranteed present) L2.
+func (h *Hierarchy) fillL1(core int, tag uint64, excl bool) {
+	l1 := h.l1[core]
+	v := l1.victim(tag)
+	if v.valid {
+		l1.Stats.Evictions++
+		h.dropL1Copy(core, v.tag, v.dirty)
+		if v.dirty {
+			l1.Stats.Writebacks++
+		}
+	}
+	*v = line{tag: tag, valid: true, excl: excl, dirty: excl}
+	l1.touch(v)
+}
+
+// dropL1Copy updates the directory when core silently evicts (or writes
+// back) its copy of tag. A dirty copy marks the L2 line dirty.
+func (h *Hierarchy) dropL1Copy(core int, tag uint64, dirty bool) {
+	if l2ln := h.l2.lookup(tag); l2ln != nil {
+		l2ln.sharers &^= 1 << uint(core)
+		if dirty {
+			l2ln.dirty = true
+		}
+	}
+}
+
+// invalidateOthers removes every L1 copy of tag except core's own, folding
+// dirty data into the L2 line.
+func (h *Hierarchy) invalidateOthers(core int, tag uint64) {
+	l2ln := h.l2.lookup(tag)
+	if l2ln == nil {
+		return
+	}
+	others := l2ln.sharers &^ (1 << uint(core))
+	for c := 0; c < h.params.Cores && others != 0; c++ {
+		bit := uint64(1) << uint(c)
+		if others&bit == 0 {
+			continue
+		}
+		others &^= bit
+		if wasDirty, _ := h.l1[c].invalidate(tag); wasDirty {
+			l2ln.dirty = true
+		}
+		l2ln.sharers &^= bit
+	}
+}
+
+// downgradeOwners handles a read (or the lookup phase of a write) hitting a
+// line that some other L1 holds exclusively: the owner loses exclusivity and
+// folds dirty data into the L2.
+func (h *Hierarchy) downgradeOwners(core int, tag uint64, write bool) {
+	l2ln := h.l2.lookup(tag)
+	if l2ln == nil {
+		return
+	}
+	for c := 0; c < h.params.Cores; c++ {
+		if c == core || l2ln.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if ln := h.l1[c].lookup(tag); ln != nil && ln.excl {
+			if ln.dirty {
+				l2ln.dirty = true
+				ln.dirty = false
+			}
+			ln.excl = false
+			_ = write // on writes, invalidateOthers will remove the copy
+		}
+	}
+}
+
+// CheckInclusion verifies that every valid L1 line is present in the L2 and
+// that the directory sharer bits are exact. Used by property tests; O(cache
+// size).
+func (h *Hierarchy) CheckInclusion() error {
+	type key = uint64
+	want := map[key]uint64{} // line tag -> expected sharer mask
+	for c, l1 := range h.l1 {
+		var err error
+		l1.ForEachValid(func(a mem.Addr, _ bool) {
+			tag := h.l2.lineAddr(a)
+			if h.l2.lookup(tag) == nil {
+				err = fmt.Errorf("inclusion violated: core %d holds %x absent from L2", c, a)
+			}
+			want[tag] |= 1 << uint(c)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var err error
+	h.l2.ForEachValid(func(a mem.Addr, _ bool) {
+		tag := h.l2.lineAddr(a)
+		ln := h.l2.lookup(tag)
+		if ln.sharers != want[tag] {
+			err = fmt.Errorf("directory wrong for %x: sharers=%b actual=%b", a, ln.sharers, want[tag])
+		}
+		delete(want, tag)
+	})
+	if err != nil {
+		return err
+	}
+	if len(want) != 0 {
+		return fmt.Errorf("%d L1 lines not found in L2 scan", len(want))
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package cache implements the simulated CMP memory hierarchy the paper's
+// evaluation runs on: fixed-size private L1 caches per core, one shared
+// inclusive L2 with a directory for coherence, and a finite-bandwidth
+// off-chip bus. L2 misses are the paper's headline metric — each one is an
+// off-chip transfer, so "L2 misses per 1000 instructions" is the off-chip
+// traffic Figure 1 plots.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// LevelStats counts events at one cache level.
+type LevelStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Writebacks    int64 // dirty evictions pushed down a level
+	Invalidations int64 // coherence or inclusion invalidations received
+	Upgrades      int64 // write hits that required ownership upgrades
+}
+
+// Accesses returns hits + misses.
+func (s LevelStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRate returns misses / accesses, or 0 for an untouched cache.
+func (s LevelStats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// line is one cache line's metadata. Data contents are not stored: the
+// simulation is trace-driven, so only presence, ownership, and dirtiness
+// matter.
+type line struct {
+	tag     uint64 // line-aligned address >> lineShift; meaningful iff valid
+	lastUse uint64 // LRU clock value of most recent touch
+	sharers uint64 // L2 only: bitmask of cores whose L1 holds this line
+	valid   bool
+	dirty   bool
+	excl    bool // L1 only: this core has exclusive (writable) ownership
+}
+
+// SetAssoc is a set-associative cache with true-LRU replacement.
+//
+// EffectiveWays may be lower than the geometric associativity to model the
+// cache-segment power-down experiment: masked ways are simply never used,
+// exactly like gating their power.
+type SetAssoc struct {
+	Name      string
+	ways      int
+	effWays   int
+	numSets   int
+	lineShift uint
+	setMask   uint64
+	lines     []line // numSets * ways, set-major
+	clock     uint64
+	Stats     LevelStats
+}
+
+// NewSetAssoc builds a cache of size bytes with the given associativity and
+// line size. Size must be ways*lineSize*2^k for integer k. maskedWays of the
+// associativity are powered down (0 for a fully-on cache).
+func NewSetAssoc(name string, size int64, ways, lineSize, maskedWays int) *SetAssoc {
+	if ways <= 0 || lineSize <= 0 || size <= 0 {
+		panic(fmt.Sprintf("cache %s: non-positive geometry", name))
+	}
+	if lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, lineSize))
+	}
+	numSets := int(size) / (ways * lineSize)
+	if numSets <= 0 || int64(numSets*ways*lineSize) != size {
+		panic(fmt.Sprintf("cache %s: size %d not divisible into %d ways of %dB lines", name, size, ways, lineSize))
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, numSets))
+	}
+	if maskedWays < 0 || maskedWays >= ways {
+		panic(fmt.Sprintf("cache %s: cannot mask %d of %d ways", name, maskedWays, ways))
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &SetAssoc{
+		Name:      name,
+		ways:      ways,
+		effWays:   ways - maskedWays,
+		numSets:   numSets,
+		lineShift: shift,
+		setMask:   uint64(numSets - 1),
+		lines:     make([]line, numSets*ways),
+	}
+}
+
+// LineSize returns the line size in bytes.
+func (c *SetAssoc) LineSize() int { return 1 << c.lineShift }
+
+// Size returns the powered-on capacity in bytes.
+func (c *SetAssoc) Size() int64 {
+	return int64(c.numSets) * int64(c.effWays) * int64(c.LineSize())
+}
+
+// lineAddr maps a byte address to its line tag.
+func (c *SetAssoc) lineAddr(a mem.Addr) uint64 { return uint64(a) >> c.lineShift }
+
+// setOf returns the set index for a line tag.
+func (c *SetAssoc) setOf(tag uint64) int { return int(tag & c.setMask) }
+
+// lookup finds the line holding tag. Returns a pointer into the cache's
+// line array, or nil on miss. Does not touch LRU or stats.
+func (c *SetAssoc) lookup(tag uint64) *line {
+	base := c.setOf(tag) * c.ways
+	for w := 0; w < c.effWays; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return ln
+		}
+	}
+	return nil
+}
+
+// touch marks a line as most recently used.
+func (c *SetAssoc) touch(ln *line) {
+	c.clock++
+	ln.lastUse = c.clock
+}
+
+// victim selects the line to evict in tag's set: an invalid way if any,
+// else the LRU way among powered-on ways.
+func (c *SetAssoc) victim(tag uint64) *line {
+	base := c.setOf(tag) * c.ways
+	var lru *line
+	for w := 0; w < c.effWays; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			return ln
+		}
+		if lru == nil || ln.lastUse < lru.lastUse {
+			lru = ln
+		}
+	}
+	return lru
+}
+
+// invalidate drops tag from the cache if present, returning the line's prior
+// state for writeback handling.
+func (c *SetAssoc) invalidate(tag uint64) (wasDirty, wasPresent bool) {
+	if ln := c.lookup(tag); ln != nil {
+		c.Stats.Invalidations++
+		ln.valid = false
+		return ln.dirty, true
+	}
+	return false, false
+}
+
+// ForEachValid calls fn for every valid powered-on line. Used for occupancy
+// and working-set accounting.
+func (c *SetAssoc) ForEachValid(fn func(lineAddr mem.Addr, dirty bool)) {
+	for s := 0; s < c.numSets; s++ {
+		base := s * c.ways
+		for w := 0; w < c.effWays; w++ {
+			ln := &c.lines[base+w]
+			if ln.valid {
+				fn(mem.Addr(ln.tag<<c.lineShift), ln.dirty)
+			}
+		}
+	}
+}
+
+// CountValid returns the number of resident lines, total and those whose
+// address belongs to space.
+func (c *SetAssoc) CountValid(space mem.SpaceID) (total, inSpace int) {
+	c.ForEachValid(func(a mem.Addr, _ bool) {
+		total++
+		if mem.SpaceOf(a) == space {
+			inSpace++
+		}
+	})
+	return
+}

@@ -1,0 +1,83 @@
+package cache
+
+import "repro/internal/mem"
+
+// WorkingSet measures the set of distinct cache lines an execution touches.
+// The paper argues PDF's aggregate working set stays close to the
+// sequential one while WS's grows with the core count; this profiler is how
+// the reproduction quantifies that (and feeds the power-down discussion:
+// a small working set leaves cache segments idle).
+//
+// Two measurements are kept:
+//   - the total distinct-line count over the whole run, and
+//   - a windowed high-water mark: the largest number of distinct lines
+//     touched within any window of windowSize consecutive touches,
+//     approximating the instantaneous working set.
+type WorkingSet struct {
+	lineSize   int
+	seen       map[mem.Addr]struct{}
+	window     []mem.Addr
+	windowSet  map[mem.Addr]int // line -> count within current window
+	windowPos  int
+	windowFull bool
+	highWater  int
+}
+
+// DefaultWSWindow is the default working-set window, in touches: large
+// enough to span many tasks even when 32 cores interleave their streams
+// (so the high-water mark reflects the aggregate instantaneous working
+// set), small enough not to saturate at full-experiment dataset sizes.
+const DefaultWSWindow = 1 << 16
+
+// NewWorkingSet returns a profiler for the given line size.
+func NewWorkingSet(lineSize int) *WorkingSet {
+	return &WorkingSet{
+		lineSize:  lineSize,
+		seen:      make(map[mem.Addr]struct{}, 1<<12),
+		window:    make([]mem.Addr, DefaultWSWindow),
+		windowSet: make(map[mem.Addr]int, 1<<12),
+	}
+}
+
+// Touch records an access to the line containing addr.
+func (w *WorkingSet) Touch(addr mem.Addr) {
+	la := mem.LineAddr(addr, uint64(w.lineSize))
+	w.seen[la] = struct{}{}
+
+	// Sliding window of the last len(window) touches.
+	if w.windowFull {
+		old := w.window[w.windowPos]
+		if n := w.windowSet[old]; n <= 1 {
+			delete(w.windowSet, old)
+		} else {
+			w.windowSet[old] = n - 1
+		}
+	}
+	w.window[w.windowPos] = la
+	w.windowSet[la]++
+	w.windowPos++
+	if w.windowPos == len(w.window) {
+		w.windowPos = 0
+		w.windowFull = true
+	}
+	if n := len(w.windowSet); n > w.highWater {
+		w.highWater = n
+	}
+}
+
+// DistinctLines returns the total number of distinct lines touched.
+func (w *WorkingSet) DistinctLines() int { return len(w.seen) }
+
+// DistinctBytes returns DistinctLines scaled to bytes.
+func (w *WorkingSet) DistinctBytes() int64 {
+	return int64(len(w.seen)) * int64(w.lineSize)
+}
+
+// WindowHighWaterLines returns the peak distinct-line count inside any
+// sliding window of DefaultWSWindow touches.
+func (w *WorkingSet) WindowHighWaterLines() int { return w.highWater }
+
+// WindowHighWaterBytes returns the peak windowed working set in bytes.
+func (w *WorkingSet) WindowHighWaterBytes() int64 {
+	return int64(w.highWater) * int64(w.lineSize)
+}

@@ -1,0 +1,98 @@
+package dag
+
+import "fmt"
+
+// Shape summarizes the static structure of a frozen graph: the quantities
+// the scheduling theory speaks in.
+type Shape struct {
+	Nodes int
+	Edges int
+	// Depth is the number of nodes on the longest root-to-sink path (the
+	// unit-cost span D). The Blelloch–Gibbons premature-node bound — and
+	// therefore PDF's working-set guarantee — is O(P·D).
+	Depth int
+	// MaxWidth is the largest ready set of the greedy level-synchronous
+	// schedule (execute every ready node each step): a standard measure of
+	// the parallelism the DAG makes available.
+	MaxWidth int
+}
+
+// Analyze computes the Shape of a frozen graph.
+func Analyze(g *Graph) Shape {
+	if !g.frozen {
+		panic("dag: Analyze before Freeze")
+	}
+	s := Shape{Nodes: g.Len()}
+	depth := make([]int, g.Len())
+	// 1DF order is topological, so a single pass computes longest paths.
+	for _, n := range g.OneDFOrder() {
+		if depth[n.ID] == 0 {
+			depth[n.ID] = 1
+		}
+		s.Edges += len(n.children)
+		for _, c := range n.children {
+			if d := depth[n.ID] + 1; d > depth[c.ID] {
+				depth[c.ID] = d
+			}
+		}
+		if depth[n.ID] > s.Depth {
+			s.Depth = depth[n.ID]
+		}
+	}
+
+	// Level-synchronous replay: execute the whole ready wave each step and
+	// record the widest wave.
+	pending := g.InDegrees()
+	wave := []*Node{g.root}
+	for len(wave) > 0 {
+		if len(wave) > s.MaxWidth {
+			s.MaxWidth = len(wave)
+		}
+		var next []*Node
+		for _, n := range wave {
+			for _, c := range n.children {
+				pending[c.ID]--
+				if pending[c.ID] == 0 {
+					next = append(next, c)
+				}
+			}
+		}
+		wave = next
+	}
+	return s
+}
+
+// CheckSchedule verifies that order is a legal execution of g: every node
+// exactly once, and no node before any of its parents. The simulator's tests
+// run every scheduler through this check.
+func CheckSchedule(g *Graph, order []NodeID) error {
+	if len(order) != g.Len() {
+		return fmt.Errorf("dag: schedule has %d nodes, graph has %d", len(order), g.Len())
+	}
+	pos := make([]int, g.Len())
+	seen := make([]bool, g.Len())
+	for i, id := range order {
+		if id < 0 || int(id) >= g.Len() {
+			return fmt.Errorf("dag: schedule position %d has invalid node %d", i, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("dag: node %d executed twice", id)
+		}
+		seen[id] = true
+		pos[id] = i
+	}
+	for _, n := range g.nodes {
+		for _, c := range n.children {
+			if pos[c.ID] <= pos[n.ID] {
+				return fmt.Errorf("dag: %v executed at %d before parent %v at %d",
+					c, pos[c.ID], n, pos[n.ID])
+			}
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d depth=%d maxwidth=%d", s.Nodes, s.Edges, s.Depth, s.MaxWidth)
+}

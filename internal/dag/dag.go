@@ -1,0 +1,226 @@
+// Package dag models fine-grained multithreaded computations as directed
+// acyclic graphs of tasks, the abstraction both schedulers in the paper
+// operate on.
+//
+// A Node is a task: a short segment of sequential work expressed as a Go
+// closure that performs the real computation while recording its memory
+// reference trace (see internal/trace). Edges are dependencies: spawn edges
+// from a task to the children it enables, and join edges into
+// synchronization points. A node becomes ready when all of its parents have
+// completed.
+//
+// The package computes the 1DF numbering — the order in which a single
+// processor executing the DAG depth-first would run the tasks. This order
+// defines (a) the sequential baseline the paper's speedups are measured
+// against and (b) the scheduling priority used by the Parallel Depth First
+// scheduler: PDF always prefers the ready task with the smallest 1DF number,
+// which provably keeps the aggregate working set close to the sequential one
+// (Blelloch & Gibbons, SPAA 2004).
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// NodeID indexes a node within its Graph, dense from 0.
+type NodeID int32
+
+// RunFunc performs a task's real computation, recording the instruction and
+// memory-reference stream. A nil RunFunc denotes a pure synchronization node
+// (zero work).
+type RunFunc func(*trace.Recorder)
+
+// Node is one task in the computation DAG.
+type Node struct {
+	ID    NodeID
+	Label string
+	Run   RunFunc
+
+	// DF is the node's 1DF number: its position in the sequential
+	// depth-first schedule. Valid after Graph.Freeze.
+	DF int32
+
+	children []*Node
+	nparents int32
+}
+
+// Children returns the node's out-neighbors in spawn order (left to right).
+// The slice is owned by the graph and must not be mutated.
+func (n *Node) Children() []*Node { return n.children }
+
+// NumParents returns the node's in-degree.
+func (n *Node) NumParents() int { return int(n.nparents) }
+
+// String implements fmt.Stringer for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s#%d(df=%d)", n.Label, n.ID, n.DF)
+}
+
+// Graph is a computation DAG under construction or, after Freeze, a
+// validated immutable computation ready to be scheduled. Graphs are built
+// single-threaded by workload generators.
+type Graph struct {
+	nodes  []*Node
+	root   *Node
+	frozen bool
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode creates a task node. The order in which edges are later added from
+// a parent defines the left-to-right child order, which in turn defines the
+// sequential (1DF) execution order: the sequential processor runs children
+// leftmost-first.
+func (g *Graph) AddNode(label string, run RunFunc) *Node {
+	if g.frozen {
+		panic("dag: AddNode on frozen graph")
+	}
+	n := &Node{ID: NodeID(len(g.nodes)), Label: label, Run: run, DF: -1}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddEdge adds a dependency from parent to child: child cannot start until
+// parent has completed.
+func (g *Graph) AddEdge(parent, child *Node) {
+	if g.frozen {
+		panic("dag: AddEdge on frozen graph")
+	}
+	if parent == child {
+		panic("dag: self edge")
+	}
+	parent.children = append(parent.children, child)
+	child.nparents++
+}
+
+// Chain adds edges n0→n1→n2→… between consecutive nodes.
+func (g *Graph) Chain(nodes ...*Node) {
+	for i := 0; i+1 < len(nodes); i++ {
+		g.AddEdge(nodes[i], nodes[i+1])
+	}
+}
+
+// Fan adds edges parent→child and child→join for every child, the common
+// spawn/sync pattern of fork-join programs.
+func (g *Graph) Fan(parent, join *Node, children ...*Node) {
+	for _, c := range children {
+		g.AddEdge(parent, c)
+		g.AddEdge(c, join)
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Nodes returns all nodes in creation order. The slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Root returns the unique entry node. Valid after Freeze.
+func (g *Graph) Root() *Node { return g.root }
+
+// Frozen reports whether Freeze has completed successfully.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// InDegrees returns a fresh copy of every node's in-degree, indexed by
+// NodeID. The simulator uses this as its per-run pending-parent table so a
+// frozen graph can be executed many times.
+func (g *Graph) InDegrees() []int32 {
+	out := make([]int32, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = n.nparents
+	}
+	return out
+}
+
+// Freeze validates the graph and computes the 1DF numbering. It requires a
+// single entry node (exactly one node with in-degree zero) and that every
+// node is reachable from it; cycles are reported as errors. After Freeze the
+// graph is immutable.
+func (g *Graph) Freeze() error {
+	if g.frozen {
+		return nil
+	}
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("dag: empty graph")
+	}
+	var roots []*Node
+	for _, n := range g.nodes {
+		if n.nparents == 0 {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) != 1 {
+		return fmt.Errorf("dag: graph must have exactly one entry node, found %d", len(roots))
+	}
+	g.root = roots[0]
+
+	order, err := g.computeOneDF()
+	if err != nil {
+		return err
+	}
+	for i, n := range order {
+		n.DF = int32(i)
+	}
+	g.frozen = true
+	return nil
+}
+
+// MustFreeze is Freeze that panics on error, for workload generators whose
+// graphs are correct by construction.
+func (g *Graph) MustFreeze() {
+	if err := g.Freeze(); err != nil {
+		panic(err)
+	}
+}
+
+// computeOneDF simulates the sequential one-processor depth-first schedule:
+// maintain a stack of ready nodes; execute the top; push children that
+// become ready in reverse spawn order so the leftmost child runs first.
+// The resulting execution order is the 1DF numbering.
+func (g *Graph) computeOneDF() ([]*Node, error) {
+	pending := g.InDegrees()
+	stack := []*Node{g.root}
+	order := make([]*Node, 0, len(g.nodes))
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, n)
+		// Children that become ready are pushed in reverse so the
+		// leftmost ready child is on top of the stack.
+		var ready []*Node
+		for _, c := range n.children {
+			pending[c.ID]--
+			if pending[c.ID] == 0 {
+				ready = append(ready, c)
+			} else if pending[c.ID] < 0 {
+				return nil, fmt.Errorf("dag: node %v released twice (graph corrupt)", c)
+			}
+		}
+		for i := len(ready) - 1; i >= 0; i-- {
+			stack = append(stack, ready[i])
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dag: only %d of %d nodes reachable and acyclic from root", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// OneDFOrder returns the nodes in 1DF order. Valid after Freeze.
+func (g *Graph) OneDFOrder() []*Node {
+	if !g.frozen {
+		panic("dag: OneDFOrder before Freeze")
+	}
+	out := make([]*Node, len(g.nodes))
+	for _, n := range g.nodes {
+		out[n.DF] = n
+	}
+	return out
+}

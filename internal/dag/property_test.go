@@ -1,0 +1,120 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xprng"
+)
+
+// TestOneDFMatchesRecursiveDefinition cross-checks the stack-based 1DF
+// computation against an independent recursive definition on fork-join
+// trees: a node's entire left subtree (up to but excluding the join) is
+// numbered before anything in its right subtree.
+func TestOneDFMatchesRecursiveDefinition(t *testing.T) {
+	g := New()
+	root := g.AddNode("root", nil)
+	type sub struct{ first, last *Node }
+	var build func(parent *Node, depth int) sub
+	build = func(parent *Node, depth int) sub {
+		if depth == 0 {
+			leaf := g.AddNode("leaf", nil)
+			g.AddEdge(parent, leaf)
+			return sub{leaf, leaf}
+		}
+		l := g.AddNode("l", nil)
+		r := g.AddNode("r", nil)
+		g.AddEdge(parent, l)
+		g.AddEdge(parent, r)
+		ls := build(l, depth-1)
+		rs := build(r, depth-1)
+		join := g.AddNode("join", nil)
+		g.AddEdge(ls.last, join)
+		g.AddEdge(rs.last, join)
+		return sub{l, join}
+	}
+	s := build(root, 6)
+	g.MustFreeze()
+	_ = s
+	// Check recursively: for every two-child spawn node, max DF over the
+	// left child's descendants-before-join < min DF over right's.
+	var check func(n *Node)
+	checked := map[NodeID]bool{}
+	check = func(n *Node) {
+		if checked[n.ID] {
+			return
+		}
+		checked[n.ID] = true
+		kids := n.Children()
+		if len(kids) == 2 && kids[0].Label == "l" {
+			if kids[0].DF >= kids[1].DF {
+				t.Fatalf("left child %v not before right %v", kids[0], kids[1])
+			}
+		}
+		for _, c := range kids {
+			if c.DF <= n.DF && c.NumParents() == 1 {
+				t.Fatalf("single-parent child %v numbered before parent %v", c, n)
+			}
+			check(c)
+		}
+	}
+	check(root)
+}
+
+// TestDFNumbersAreDensePermutation: DF values must be exactly 0..N-1.
+func TestDFNumbersAreDensePermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		g, _ := randomSeriesParallel(xprng.New(seed), 5)
+		seen := make([]bool, g.Len())
+		for _, n := range g.Nodes() {
+			if n.DF < 0 || int(n.DF) >= g.Len() || seen[n.DF] {
+				return false
+			}
+			seen[n.DF] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeEdgesCount: Analyze's edge count must equal the sum of
+// out-degrees.
+func TestAnalyzeEdgesCount(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		g, _ := randomSeriesParallel(xprng.New(seed), 4)
+		want := 0
+		for _, n := range g.Nodes() {
+			want += len(n.Children())
+		}
+		return Analyze(g).Edges == want
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepthBounds: depth is at least 1 and at most the node count; width at
+// least 1 and at most the node count.
+func TestShapeBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		g, _ := randomSeriesParallel(xprng.New(seed), 4)
+		s := Analyze(g)
+		return s.Depth >= 1 && s.Depth <= s.Nodes && s.MaxWidth >= 1 && s.MaxWidth <= s.Nodes
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFanHelper: Fan wires parent->child->join for each child.
+func TestFanHelper(t *testing.T) {
+	g := New()
+	p := g.AddNode("p", nil)
+	j := g.AddNode("j", nil)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.Fan(p, j, a, b)
+	g.MustFreeze()
+	if len(p.Children()) != 2 || j.NumParents() != 2 {
+		t.Fatalf("fan wiring wrong: p kids %d, j parents %d", len(p.Children()), j.NumParents())
+	}
+}

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// runA1Grain sweeps task granularity. The paper's last finding says fine
+// grain is "crucial to achieving good performance on CMPs": too coarse and
+// PDF cannot co-schedule within a subproblem (the t5 effect); too fine and
+// dispatch overhead dominates. The sweep exposes both cliffs.
+func runA1Grain(quick bool) (*Result, error) {
+	cores := 16
+	if quick {
+		cores = 8
+	}
+	n := sizing(1<<19, quick)
+	cfg := machine.Default(cores)
+	t := report.New("Ablation: mergesort task granularity ("+cfg.Name+")",
+		"grain", "tasks", "pdf cycles", "ws cycles", "pdf MPKI", "ws MPKI", "pdf/ws speedup")
+	t.Note = "fine grain is what lets PDF constructively share (paper finding 4)"
+	res := &Result{ID: "a1-grain", Tables: []*report.Table{t}}
+	grains := []int{512, 2048, 8192, 32768, n / cores}
+	if quick {
+		grains = []int{512, 4096, n / cores}
+	}
+	seen := map[int]bool{}
+	for _, grain := range grains {
+		if seen[grain] {
+			continue
+		}
+		seen[grain] = true
+		spec := workloads.Spec{Name: "mergesort", N: n, Grain: grain, Seed: Seed}
+		p, err := RunOne(cfg, spec, "pdf")
+		if err != nil {
+			return nil, err
+		}
+		w, err := RunOne(cfg, spec, "ws")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(grain, p.Tasks, p.Cycles, w.Cycles, p.L2MPKI(), w.L2MPKI(),
+			ratio(float64(w.Cycles), float64(p.Cycles)))
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}
+
+// runA2L2Size sweeps shared L2 capacity at a fixed core count, locating the
+// crossover: once the whole dataset fits, the schedulers converge; the
+// scarcer the cache, the more constructive sharing pays.
+func runA2L2Size(quick bool) (*Result, error) {
+	cores := 16
+	if quick {
+		cores = 8
+	}
+	n := sizing(1<<19, quick)
+	spec := workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}
+	t := report.New("Ablation: shared L2 capacity at fixed cores (mergesort)",
+		"L2", "pdf cycles", "ws cycles", "pdf MPKI", "ws MPKI", "pdf/ws speedup")
+	t.Note = "gap opens when dataset exceeds L2 and closes again when even L2/P suffices"
+	res := &Result{ID: "a2-l2size", Tables: []*report.Table{t}}
+	sizes := []int64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	if quick {
+		sizes = []int64{512 << 10, 2 << 20}
+	}
+	for _, l2 := range sizes {
+		cfg := machine.Default(cores)
+		cfg.L2Size = l2
+		cfg.Name = "l2-" + byteSize(l2)
+		p, err := RunOne(cfg, spec, "pdf")
+		if err != nil {
+			return nil, err
+		}
+		w, err := RunOne(cfg, spec, "ws")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(byteSize(l2), p.Cycles, w.Cycles, p.L2MPKI(), w.L2MPKI(),
+			ratio(float64(w.Cycles), float64(p.Cycles)))
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}
+
+// runA3Bandwidth sweeps off-chip bandwidth at fixed cores and cache: with
+// abundant bandwidth the traffic gap stops costing time (the paper's
+// "not limited by off-chip bandwidth" neutral case); as bandwidth tightens,
+// PDF's traffic reduction converts into execution-time advantage.
+func runA3Bandwidth(quick bool) (*Result, error) {
+	cores := 16
+	if quick {
+		cores = 8
+	}
+	n := sizing(1<<19, quick)
+	spec := workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}
+	t := report.New("Ablation: off-chip bandwidth at fixed cores (mergesort)",
+		"bytes/cycle", "pdf cycles", "ws cycles", "bus util pdf", "bus util ws", "pdf/ws speedup")
+	t.Note = "PDF's advantage grows as bandwidth tightens; with infinite bandwidth only latency is left"
+	res := &Result{ID: "a3-bandwidth", Tables: []*report.Table{t}}
+	bws := []float64{2, 4, 8, 16, 0} // 0 = infinite
+	if quick {
+		bws = []float64{4, 0}
+	}
+	for _, bw := range bws {
+		cfg := machine.Default(cores)
+		cfg.BusBPC = bw
+		p, err := RunOne(cfg, spec, "pdf")
+		if err != nil {
+			return nil, err
+		}
+		w, err := RunOne(cfg, spec, "ws")
+		if err != nil {
+			return nil, err
+		}
+		label := "inf"
+		if bw > 0 {
+			label = formatF(bw)
+		}
+		t.AddRow(label, p.Cycles, w.Cycles, p.BusUtilization, w.BusUtilization,
+			ratio(float64(w.Cycles), float64(p.Cycles)))
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}
+
+// runA4Policies compares the four scheduler policies on one workload,
+// isolating what matters: WS's steal-from-the-oldest-end choice, and PDF's
+// sequential priority versus a naive shared FIFO queue.
+func runA4Policies(quick bool) (*Result, error) {
+	cores := 16
+	if quick {
+		cores = 8
+	}
+	n := sizing(1<<19, quick)
+	cfg := machine.Default(cores)
+	spec := workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}
+	t := report.New("Ablation: scheduler policy variants (mergesort, "+cfg.Name+")",
+		"policy", "cycles", "L2 MPKI", "steals", "premature high-water")
+	t.Note = "pdf ~ sequential order; ws steals oldest; ws-stealnewest and fifo are strawmen"
+	res := &Result{ID: "a4-stealpolicy", Tables: []*report.Table{t}}
+	for _, sched := range []string{"pdf", "ws", "ws-stealnewest", "fifo"} {
+		r, err := RunOne(cfg, spec, sched)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sched, r.Cycles, r.L2MPKI(), r.Steals, r.MaxPremature)
+		res.Runs = append(res.Runs, r)
+	}
+	return res, nil
+}

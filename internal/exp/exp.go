@@ -1,0 +1,117 @@
+// Package exp defines the reproduction's experiments: for every figure and
+// finding in the paper there is an experiment id that regenerates the
+// corresponding table or series. DESIGN.md carries the full index; this
+// package is the single implementation used by cmd/sweep, the examples, and
+// the benchmark harness, so all three always agree.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Seed fixes all experiment randomness (data generation and WS victim
+// selection). Published numbers in EXPERIMENTS.md use this seed.
+const Seed = 20060730 // SPAA'06 opening day
+
+// OverheadsOf extracts the scheduler cost knobs from a machine config.
+func OverheadsOf(cfg machine.Config) core.Overheads {
+	return core.Overheads{
+		PDFDispatch:  cfg.PDFDispatch,
+		WSPopLocal:   cfg.WSPopLocal,
+		WSStealProbe: cfg.WSStealProbe,
+		WSStealXfer:  cfg.WSStealXfer,
+	}
+}
+
+// RunOne builds a fresh instance of spec and simulates it on cfg under the
+// named scheduler, verifying functional correctness.
+func RunOne(cfg machine.Config, spec workloads.Spec, sched string) (metrics.Run, error) {
+	in := workloads.Build(spec)
+	s := core.ByName(sched, OverheadsOf(cfg), Seed)
+	e := sim.New(cfg, in.Graph, s, nil)
+	r := e.Run()
+	r.Workload = spec.Name
+	if err := in.Verify(); err != nil {
+		return r, fmt.Errorf("exp: %v under %s on %s: %w", spec, sched, cfg.Name, err)
+	}
+	return r, nil
+}
+
+// Result bundles an experiment's tables with the raw runs behind them.
+type Result struct {
+	ID     string
+	Tables []*report.Table
+	Runs   []metrics.Run
+}
+
+// An experiment produces a Result. quick mode shrinks problem sizes by ~8x
+// so the whole suite runs inside `go test`; published numbers use full mode.
+type experiment struct {
+	id   string
+	desc string
+	run  func(quick bool) (*Result, error)
+}
+
+var registry = []experiment{
+	{"fig1-misses", "Figure 1 (left): mergesort L2 misses per 1000 instructions vs cores", runFig1Misses},
+	{"fig1-speedup", "Figure 1 (right): mergesort speedup over 1 core vs cores", runFig1Speedup},
+	{"t1-dc", "Finding 1: divide-and-conquer class, PDF vs WS at 16/32 cores", runT1DC},
+	{"t1-irregular", "Finding 1: bandwidth-limited irregular class, PDF vs WS", runT1Irregular},
+	{"t2-neutral", "Finding 2: limited-reuse and compute-bound classes, PDF ~ WS", runT2Neutral},
+	{"t3-power", "Power-down: runtime vs fraction of L2 ways powered off", runT3Power},
+	{"t4-multiprog", "Multiprogramming: L2 survival across context switches", runT4Multiprog},
+	{"t5-coarse", "Finding 3: coarse-grained SMP-style threading loses the PDF advantage", runT5Coarse},
+	{"a1-grain", "Ablation: task granularity sweep", runA1Grain},
+	{"a2-l2size", "Ablation: L2 capacity sweep at 16 cores", runA2L2Size},
+	{"a3-bandwidth", "Ablation: off-chip bandwidth sweep at 16 cores", runA3Bandwidth},
+	{"a4-stealpolicy", "Ablation: scheduler policy variants", runA4Policies},
+	{"a5-premature", "Premature nodes: the SPAA'04 working-set bound, measured", runA5Premature},
+}
+
+// IDs lists experiment ids in canonical order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) string {
+	for _, e := range registry {
+		if e.id == id {
+			return e.desc
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, quick bool) (*Result, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.run(quick)
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// sizing returns n scaled down 8x in quick mode (minimum floor keeps graphs
+// meaningful).
+func sizing(n int, quick bool) int {
+	if quick {
+		n /= 8
+		if n < 4096 {
+			n = 4096
+		}
+	}
+	return n
+}

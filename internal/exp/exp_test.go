@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func TestIDsAndDescriptions(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("expected 13 experiments, got %d: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if Describe(id) == "" {
+			t.Errorf("experiment %s has no description", id)
+		}
+	}
+	if Describe("nope") != "" {
+		t.Error("unknown id has a description")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", true); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestRunOneVerifies(t *testing.T) {
+	r, err := RunOne(machine.Default(2),
+		workloads.Spec{Name: "scan", N: 1 << 12, Grain: 256, Seed: 1}, "pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "scan" || r.Cores != 2 || r.Cycles == 0 {
+		t.Fatalf("run record incomplete: %+v", r)
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the entire suite in quick mode —
+// the reproduction's end-to-end smoke test.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still simulates tens of millions of cycles")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Fatalf("result id %q", res.ID)
+			}
+			if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+				t.Fatal("experiment produced no table rows")
+			}
+			if len(res.Runs) == 0 {
+				t.Fatal("experiment kept no raw runs")
+			}
+			out := res.Tables[0].String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("table did not render: %q", out)
+			}
+		})
+	}
+}
+
+// TestFig1Shape asserts the paper's headline result under cache pressure:
+// with a dataset several times the shared L2, PDF misses less and finishes
+// faster than WS. (The quick-mode sweep itself cannot show this — its
+// dataset fits in the default L2 — so this test scales the cache down with
+// the dataset, preserving the published dataset/L2 ratio of 4.)
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := machine.Default(8)
+	cfg.L2Size = 256 << 10 // dataset 2x64Ki keys = 1 MiB: ratio 4
+	spec := workloads.Spec{Name: "mergesort", N: 1 << 16, Grain: 1024, Seed: Seed}
+	p, err := RunOne(cfg, spec, "pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := RunOne(cfg, spec, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.L2MPKI() >= w.L2MPKI() {
+		t.Fatalf("PDF MPKI %.3f not below WS %.3f under cache pressure", p.L2MPKI(), w.L2MPKI())
+	}
+	if p.Cycles >= w.Cycles {
+		t.Fatalf("PDF (%d cycles) not faster than WS (%d)", p.Cycles, w.Cycles)
+	}
+	if p.TrafficReductionVs(w) < 0.10 {
+		t.Fatalf("traffic reduction %.1f%% below 10%%", 100*p.TrafficReductionVs(w))
+	}
+}
+
+func TestT2NeutralQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := Run("t2-neutral", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: workload, cores, pdf cycles, ws cycles, pdf/ws speedup, ...
+	for _, row := range res.Tables[0].Rows {
+		rel := parseFloat(t, row[4])
+		if rel < 0.8 || rel > 1.35 {
+			t.Errorf("%s: relative speedup %.3f outside the neutral band", row[0], rel)
+		}
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	var sign float64 = 1
+	i := 0
+	if len(s) > 0 && s[0] == '-' {
+		sign = -1
+		i = 1
+	}
+	frac := false
+	div := 1.0
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c == '.' {
+			frac = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			t.Fatalf("cannot parse float %q", s)
+		}
+		v = v*10 + float64(c-'0')
+		if frac {
+			div *= 10
+		}
+	}
+	return sign * v / div
+}
+
+func TestFormatF(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0.000",
+		1.5:    "1.500",
+		-2.25:  "-2.250",
+		10.356: "10.356",
+	}
+	for in, want := range cases {
+		if got := formatF(in); got != want {
+			t.Errorf("formatF(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		1 << 10: "1KiB",
+		3 << 20: "3MiB",
+	}
+	for in, want := range cases {
+		if got := byteSize(in); got != want {
+			t.Errorf("byteSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSizing(t *testing.T) {
+	if sizing(1<<19, false) != 1<<19 {
+		t.Fatal("full mode resized")
+	}
+	if got := sizing(1<<19, true); got != 1<<16 {
+		t.Fatalf("quick mode sizing = %d", got)
+	}
+	if got := sizing(100, true); got != 4096 {
+		t.Fatalf("quick floor = %d", got)
+	}
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// fig1Spec is the mergesort input used for both Figure 1 panels: 512Ki keys
+// (8 MiB across the two buffers) against default L2s of 2-4 MiB.
+func fig1Spec(quick bool) workloads.Spec {
+	return workloads.Spec{Name: "mergesort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed}
+}
+
+// fig1Sweep runs mergesort under both schedulers across the default
+// configurations and returns runs keyed by [scheduler][coreIndex].
+func fig1Sweep(quick bool) (map[string][]metrics.Run, []machine.Config, error) {
+	configs := machine.DefaultSweep()
+	if quick {
+		configs = configs[:4] // 1..8 cores
+	}
+	runs := map[string][]metrics.Run{}
+	for _, cfg := range configs {
+		for _, sched := range []string{"pdf", "ws"} {
+			r, err := RunOne(cfg, fig1Spec(quick), sched)
+			if err != nil {
+				return nil, nil, err
+			}
+			runs[sched] = append(runs[sched], r)
+		}
+	}
+	return runs, configs, nil
+}
+
+func runFig1Misses(quick bool) (*Result, error) {
+	runs, configs, err := fig1Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Figure 1 (left): parallel merge sort, L2 misses per 1000 instructions",
+		"cores", "pdf", "ws", "ws/pdf")
+	t.Note = "paper shape: WS rises with cores; PDF stays near the 1-core line"
+	res := &Result{ID: "fig1-misses", Tables: []*report.Table{t}}
+	for i, cfg := range configs {
+		p, w := runs["pdf"][i], runs["ws"][i]
+		t.AddRow(cfg.Cores, p.L2MPKI(), w.L2MPKI(), ratio(w.L2MPKI(), p.L2MPKI()))
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}
+
+func runFig1Speedup(quick bool) (*Result, error) {
+	runs, configs, err := fig1Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Figure 1 (right): parallel merge sort, speedup over one core",
+		"cores", "pdf", "ws", "pdf/ws")
+	t.Note = "paper shape: both scale; PDF pulls ahead 1.3-1.6x at high core counts"
+	res := &Result{ID: "fig1-speedup", Tables: []*report.Table{t}}
+	for i, cfg := range configs {
+		p, w := runs["pdf"][i], runs["ws"][i]
+		sp := p.SpeedupOver(runs["pdf"][0])
+		sw := w.SpeedupOver(runs["ws"][0])
+		t.AddRow(cfg.Cores, sp, sw, ratio(sp, sw))
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// classTable runs a set of workloads under PDF and WS on the given core
+// counts and tabulates relative speedup and off-chip traffic reduction —
+// the two numbers the paper's Finding 1 quotes (1.3-1.6x, 13-41%).
+func classTable(id, title, note string, specs []workloads.Spec, coreCounts []int) (*Result, error) {
+	t := report.New(title,
+		"workload", "cores", "pdf cycles", "ws cycles", "pdf/ws speedup", "traffic reduction %")
+	t.Note = note
+	res := &Result{ID: id, Tables: []*report.Table{t}}
+	for _, spec := range specs {
+		for _, cores := range coreCounts {
+			cfg := machine.Default(cores)
+			p, err := RunOne(cfg, spec, "pdf")
+			if err != nil {
+				return nil, err
+			}
+			w, err := RunOne(cfg, spec, "ws")
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spec.Name, cores, p.Cycles, w.Cycles,
+				ratio(float64(w.Cycles), float64(p.Cycles)),
+				100*p.TrafficReductionVs(w))
+			res.Runs = append(res.Runs, p, w)
+		}
+	}
+	return res, nil
+}
+
+func runT1DC(quick bool) (*Result, error) {
+	specs := []workloads.Spec{
+		{Name: "mergesort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed},
+		{Name: "quicksort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed},
+		// FFT data (4 float64 arrays) must exceed the 16/32-core L2s.
+		{Name: "fft", N: sizing(1<<18, quick), Grain: 1024, Seed: Seed},
+	}
+	cores := []int{16, 32}
+	if quick {
+		cores = []int{8}
+	}
+	return classTable("t1-dc",
+		"Finding 1a: parallel divide-and-conquer programs, PDF vs WS",
+		"paper: relative speedup 1.3-1.6x, off-chip traffic reduced 13-41%",
+		specs, cores)
+}
+
+func runT1Irregular(quick bool) (*Result, error) {
+	specs := []workloads.Spec{
+		// N sized so one column window (N/2 x-entries = 8*N/2 bytes) sits
+		// between L2/P and L2: resident for PDF's shared window, hopeless
+		// for WS's P disjoint ones.
+		{Name: "spmv", N: sizing(1<<18, quick), Grain: 1024, Iters: 3, Seed: Seed},
+		{Name: "histogram", N: sizing(1<<20, quick), Grain: 4096, Seed: Seed},
+		// Build side N/4 tuples -> a ~2*N/4-slot table (key+value arrays);
+		// probe window N/8 slots sits between L2/P and L2.
+		{Name: "hashjoin", N: sizing(1<<20, quick), Grain: 4096, Seed: Seed},
+	}
+	cores := []int{16, 32}
+	if quick {
+		cores = []int{8}
+	}
+	return classTable("t1-irregular",
+		"Finding 1b: bandwidth-limited irregular programs, PDF vs WS",
+		"paper: same bands as 1a — PDF wins via constructive sharing",
+		specs, cores)
+}
+
+func runT2Neutral(quick bool) (*Result, error) {
+	specs := []workloads.Spec{
+		// Streaming, two touches per element: little exploitable reuse.
+		{Name: "scan", N: sizing(1<<21, quick), Grain: 4096, Seed: Seed},
+		// O(n^3)/O(n^2) arithmetic intensity: not bandwidth-bound.
+		{Name: "matmul", N: mat(sizing(256, quick)), Grain: 1024, Seed: Seed},
+		// LU at this scale fits the trailing matrix in L2: compute-bound.
+		{Name: "lu", N: mat(sizing(192, quick)), Grain: 256, Seed: Seed},
+	}
+	cores := []int{16}
+	if quick {
+		cores = []int{8}
+	}
+	return classTable("t2-neutral",
+		"Finding 2: application classes where PDF and WS perform alike",
+		"paper: roughly equal execution times (limited reuse, or not bandwidth-bound)",
+		specs, cores)
+}
+
+// mat clamps matrix dimensions to sane quick-mode values (power-of-two-
+// divisible sizes the builders accept).
+func mat(n int) int {
+	switch {
+	case n >= 256:
+		return 256
+	case n >= 192:
+		return 192
+	case n >= 128:
+		return 128
+	default:
+		return 64
+	}
+}
+
+func runT5Coarse(quick bool) (*Result, error) {
+	n := sizing(1<<19, quick)
+	cores := 16
+	if quick {
+		cores = 8
+	}
+	cfg := machine.Default(cores)
+	t := report.New("Finding 3: fine-grained vs coarse-grained threading (mergesort, "+cfg.Name+")",
+		"variant", "sched", "cycles", "L2 MPKI", "pdf/ws speedup")
+	t.Note = "paper: coarse-grained SMP-style code cannot exploit constructive sharing"
+	res := &Result{ID: "t5-coarse", Tables: []*report.Table{t}}
+	for _, variant := range []struct {
+		label string
+		spec  workloads.Spec
+	}{
+		{"fine", workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}},
+		// Coarse: one task per core's worth of data, sequential merges.
+		{"coarse", workloads.Spec{Name: "mergesort-coarse", N: n, Grain: n / cores, Seed: Seed}},
+	} {
+		p, err := RunOne(cfg, variant.spec, "pdf")
+		if err != nil {
+			return nil, err
+		}
+		w, err := RunOne(cfg, variant.spec, "ws")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(variant.label, "pdf", p.Cycles, p.L2MPKI(), ratio(float64(w.Cycles), float64(p.Cycles)))
+		t.AddRow(variant.label, "ws", w.Cycles, w.L2MPKI(), "")
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}

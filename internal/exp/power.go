@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// runT3Power reproduces the paper's power observation: "PDF's smaller
+// working sets provide opportunities to power down segments of the cache
+// without increasing the running time." We mask 0%, 25%, 50%, and 75% of
+// the L2's ways and measure each scheduler's slowdown relative to its own
+// full-cache run. PDF should tolerate more masked capacity before slowing.
+func runT3Power(quick bool) (*Result, error) {
+	cores := 8
+	n := sizing(1<<19, quick)
+	spec := workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}
+
+	t := report.New("Cache power-down: slowdown vs fraction of L2 powered off (mergesort, 8 cores)",
+		"L2 ways off", "capacity", "pdf cycles", "pdf slowdown", "ws cycles", "ws slowdown")
+	t.Note = "paper: PDF's small working set lets cache segments power down at no time cost"
+	res := &Result{ID: "t3-power", Tables: []*report.Table{t}}
+
+	var basePDF, baseWS float64
+	masks := []int{0, 4, 8, 12} // of 16 ways
+	if quick {
+		masks = []int{0, 8}
+	}
+	for _, masked := range masks {
+		cfg := machine.Default(cores)
+		cfg.L2MaskedWays = masked
+		p, err := RunOne(cfg, spec, "pdf")
+		if err != nil {
+			return nil, err
+		}
+		w, err := RunOne(cfg, spec, "ws")
+		if err != nil {
+			return nil, err
+		}
+		if masked == 0 {
+			basePDF, baseWS = float64(p.Cycles), float64(w.Cycles)
+		}
+		capacity := cfg.L2Size * int64(cfg.L2Ways-masked) / int64(cfg.L2Ways)
+		t.AddRow(masked, byteSize(capacity),
+			p.Cycles, ratio(float64(p.Cycles), basePDF),
+			w.Cycles, ratio(float64(w.Cycles), baseWS))
+		res.Runs = append(res.Runs, p, w)
+	}
+	return res, nil
+}
+
+func byteSize(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return itoa(b>>20) + "MiB"
+	case b >= 1<<10:
+		return itoa(b>>10) + "KiB"
+	default:
+		return itoa(b) + "B"
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// TestPowerDownShape asserts the t3 mechanism at small scale: under cache
+// pressure, PDF's slowdown from masking half the L2 ways must not exceed
+// WS's (its working set is the smaller one).
+func TestPowerDownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	spec := workloads.Spec{Name: "mergesort", N: 1 << 16, Grain: 1024, Seed: Seed}
+	slowdown := func(sched string) float64 {
+		full := machine.Default(8)
+		full.L2Size = 512 << 10
+		masked := full
+		masked.L2MaskedWays = 8
+		rf, err := RunOne(full, spec, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := RunOne(masked, spec, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(rm.Cycles) / float64(rf.Cycles)
+	}
+	pdf, ws := slowdown("pdf"), slowdown("ws")
+	if pdf > ws*1.05 {
+		t.Fatalf("PDF power-down slowdown %.3f worse than WS %.3f", pdf, ws)
+	}
+}
+
+// TestCoarseGrainNeutralizesPDF asserts the t5 mechanism at small scale:
+// with one task per core's worth of data, the two schedulers converge.
+func TestCoarseGrainNeutralizesPDF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := machine.Default(8)
+	cfg.L2Size = 512 << 10
+	n := 1 << 16
+	spec := workloads.Spec{Name: "mergesort-coarse", N: n, Grain: n / 8, Seed: Seed}
+	p, err := RunOne(cfg, spec, "pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := RunOne(cfg, spec, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := float64(w.Cycles) / float64(p.Cycles)
+	if rel < 0.9 || rel > 1.1 {
+		t.Fatalf("coarse-grained runs differ by %.3f — schedulers should converge", rel)
+	}
+}
+
+// TestPrematureShape asserts the a5 mechanism at small scale: WS completes
+// far more nodes ahead of the sequential frontier than PDF.
+func TestPrematureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := machine.Default(8)
+	spec := workloads.Spec{Name: "mergesort", N: 1 << 16, Grain: 1024, Seed: Seed}
+	p, err := RunOne(cfg, spec, "pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := RunOne(cfg, spec, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxPremature*2 > w.MaxPremature {
+		t.Fatalf("PDF premature %d not far below WS %d", p.MaxPremature, w.MaxPremature)
+	}
+}

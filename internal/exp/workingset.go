@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// runA5Premature measures the quantity underneath the paper's headline
+// claim. Blelloch & Gibbons (SPAA 2004) bound PDF's aggregate working set
+// by the sequential working set plus the footprint of the *premature*
+// nodes — tasks executed before their sequential turn — and prove PDF keeps
+// at most O(P·D) of them, where D is the DAG depth. The simulator tracks
+// the premature high-water mark for every run; this experiment tabulates
+// it against the P·D bound for PDF and WS.
+//
+// Expected shape: PDF's high-water stays a small multiple of P (far below
+// P·D); WS's is orders of magnitude larger and tracks the dataset, not P —
+// which is exactly why its working set grows with the core count.
+func runA5Premature(quick bool) (*Result, error) {
+	n := sizing(1<<18, quick)
+	spec := workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}
+	shape := dag.Analyze(workloads.Build(spec).Graph)
+
+	t := report.New(
+		fmt.Sprintf("Premature nodes (working-set theorem): mergesort, %d tasks, depth D=%d", shape.Nodes, shape.Depth),
+		"cores", "P*D bound", "pdf premature", "ws premature", "ws/pdf")
+	t.Note = "SPAA'04: PDF keeps O(P*D) premature nodes; the aggregate working set is sequential + their footprint"
+	res := &Result{ID: "a5-premature", Tables: []*report.Table{t}}
+
+	coreCounts := []int{2, 4, 8, 16}
+	if quick {
+		coreCounts = []int{2, 8}
+	}
+	for _, cores := range coreCounts {
+		cfg := machine.Default(cores)
+		vals := map[string]int{}
+		for _, sched := range []string{"pdf", "ws"} {
+			in := workloads.Build(spec)
+			s := core.ByName(sched, OverheadsOf(cfg), Seed)
+			e := sim.New(cfg, in.Graph, s, nil)
+			r := e.Run()
+			if err := in.Verify(); err != nil {
+				return nil, fmt.Errorf("a5-premature: %w", err)
+			}
+			r.Workload = spec.Name
+			vals[sched] = r.MaxPremature
+			res.Runs = append(res.Runs, r)
+		}
+		t.AddRow(cores, cores*shape.Depth, vals["pdf"], vals["ws"],
+			ratio(float64(vals["ws"]), float64(max(vals["pdf"], 1))))
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc("a", 100, 0)
+	if a%64 != 0 {
+		t.Fatalf("default alignment violated: %x", a)
+	}
+	b := s.Alloc("b", 1, 4096)
+	if b%4096 != 0 {
+		t.Fatalf("4096 alignment violated: %x", b)
+	}
+}
+
+func TestAllocNoOverlapNoSharedLine(t *testing.T) {
+	s := NewSpace(0)
+	var prevEnd Addr
+	for i := 0; i < 50; i++ {
+		base := s.Alloc("x", uint64(i*7+1), 0)
+		if base < prevEnd {
+			t.Fatalf("allocation %d overlaps previous (base %x < prev end %x)", i, base, prevEnd)
+		}
+		if prevEnd != 0 && LineAddr(base, 64) < prevEnd {
+			t.Fatalf("allocation %d shares a line with previous", i)
+		}
+		prevEnd = base + Addr(uint64(i*7+1))
+	}
+}
+
+func TestAllocBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two alignment did not panic")
+		}
+	}()
+	NewSpace(0).Alloc("bad", 8, 3)
+}
+
+func TestSpacesDisjoint(t *testing.T) {
+	s0 := NewSpace(0)
+	s1 := NewSpace(1)
+	a0 := s0.Alloc("a", 1<<20, 0)
+	a1 := s1.Alloc("a", 1<<20, 0)
+	if SpaceOf(a0) != 0 || SpaceOf(a1) != 1 {
+		t.Fatalf("SpaceOf wrong: %d %d", SpaceOf(a0), SpaceOf(a1))
+	}
+	if a0+1<<20 > a1 && a1+1<<20 > a0 {
+		t.Fatal("spaces overlap")
+	}
+}
+
+func TestSpaceOfRoundTrip(t *testing.T) {
+	if err := quick.Check(func(id uint8, off uint32) bool {
+		s := NewSpace(SpaceID(id))
+		a := s.Alloc("x", uint64(off)+1, 0)
+		return SpaceOf(a) == SpaceID(id)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFootprintAndAllocations(t *testing.T) {
+	s := NewSpace(2)
+	s.Alloc("keys", 1000, 0)
+	s.Alloc("tmp", 24, 0)
+	if got := s.Footprint(); got != 1024 {
+		t.Fatalf("footprint = %d, want 1024", got)
+	}
+	allocs := s.Allocations()
+	if len(allocs) != 2 || allocs[0].Name != "keys" || allocs[1].Name != "tmp" {
+		t.Fatalf("allocations table wrong: %+v", allocs)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		line uint64
+		want Addr
+	}{
+		{0, 64, 0},
+		{63, 64, 0},
+		{64, 64, 64},
+		{127, 64, 64},
+		{1000, 128, 896},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.a, c.line); got != c.want {
+			t.Errorf("LineAddr(%d,%d) = %d, want %d", c.a, c.line, got, c.want)
+		}
+	}
+}
+
+func TestNullGuard(t *testing.T) {
+	s := NewSpace(0)
+	if a := s.Alloc("first", 8, 0); a == 0 {
+		t.Fatal("first allocation landed on address 0")
+	}
+}

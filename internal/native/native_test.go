@@ -1,0 +1,162 @@
+package native
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func policies() []Policy { return []Policy{WorkStealing, ParallelDepthFirst} }
+
+func TestRunsEveryNodeExactlyOnce(t *testing.T) {
+	for _, pol := range policies() {
+		for _, workers := range []int{1, 2, 8} {
+			g := dag.New()
+			var count atomic.Int64
+			root := g.AddNode("root", nil)
+			join := g.AddNode("join", nil)
+			kids := make([]*dag.Node, 64)
+			for i := range kids {
+				kids[i] = g.AddNode("k", func(r *trace.Recorder) {
+					count.Add(1)
+					r.Compute(1)
+				})
+			}
+			g.Fan(root, join, kids...)
+			g.MustFreeze()
+			if err := Run(g, workers, pol); err != nil {
+				t.Fatal(err)
+			}
+			if count.Load() != 64 {
+				t.Fatalf("%v/%d workers: ran %d of 64 tasks", pol, workers, count.Load())
+			}
+		}
+	}
+}
+
+func TestHonorsDependencies(t *testing.T) {
+	// A chain must observe strictly ordered effects even with many workers.
+	for _, pol := range policies() {
+		g := dag.New()
+		var last atomic.Int64
+		var violated atomic.Bool
+		nodes := make([]*dag.Node, 100)
+		for i := range nodes {
+			i := i
+			nodes[i] = g.AddNode("n", func(r *trace.Recorder) {
+				if !last.CompareAndSwap(int64(i), int64(i+1)) {
+					violated.Store(true)
+				}
+			})
+		}
+		g.Chain(nodes...)
+		g.MustFreeze()
+		if err := Run(g, 8, pol); err != nil {
+			t.Fatal(err)
+		}
+		if violated.Load() {
+			t.Fatalf("%v: chain executed out of order", pol)
+		}
+	}
+}
+
+func TestJoinWaitsForAllParents(t *testing.T) {
+	for _, pol := range policies() {
+		g := dag.New()
+		var done atomic.Int64
+		var joinSawAll atomic.Bool
+		root := g.AddNode("root", nil)
+		join := g.AddNode("join", func(r *trace.Recorder) {
+			joinSawAll.Store(done.Load() == 32)
+		})
+		kids := make([]*dag.Node, 32)
+		for i := range kids {
+			kids[i] = g.AddNode("k", func(r *trace.Recorder) { done.Add(1) })
+		}
+		g.Fan(root, join, kids...)
+		g.MustFreeze()
+		if err := Run(g, 8, pol); err != nil {
+			t.Fatal(err)
+		}
+		if !joinSawAll.Load() {
+			t.Fatalf("%v: join ran before all parents", pol)
+		}
+	}
+}
+
+// TestWorkloadsRunNatively executes real workload DAGs (race-free ones) on
+// real goroutines and checks functional correctness — the schedulers are
+// the same code paths users would adopt.
+func TestWorkloadsRunNatively(t *testing.T) {
+	specs := []workloads.Spec{
+		{Name: "mergesort", N: 1 << 14, Grain: 512, Seed: 9},
+		{Name: "scan", N: 1 << 14, Grain: 512, Seed: 9},
+		{Name: "fft", N: 1 << 12, Grain: 256, Seed: 9},
+		{Name: "matmul", N: 64, Grain: 256, Seed: 9},
+		{Name: "lu", N: 64, Grain: 256, Seed: 9},
+	}
+	for _, spec := range specs {
+		for _, pol := range policies() {
+			in := workloads.Build(spec)
+			if err := Run(in.Graph, 8, pol); err != nil {
+				t.Fatalf("%v/%v: %v", spec, pol, err)
+			}
+			if err := in.Verify(); err != nil {
+				t.Fatalf("%v/%v: wrong answer: %v", spec, pol, err)
+			}
+		}
+	}
+}
+
+func TestSingleWorkerMatchesSequential(t *testing.T) {
+	// One worker must serialize; PDF with one worker IS the sequential
+	// depth-first execution.
+	in := workloads.Build(workloads.Spec{Name: "quicksort", N: 1 << 13, Grain: 256, Seed: 4})
+	if err := Run(in.Graph, 1, ParallelDepthFirst); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := dag.New()
+	g.AddNode("x", nil)
+	if err := Run(g, 2, WorkStealing); err == nil {
+		t.Error("unfrozen graph accepted")
+	}
+	g.MustFreeze()
+	if err := Run(g, 0, WorkStealing); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := Run(g, 2, Policy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if WorkStealing.String() != "ws" || ParallelDepthFirst.String() != "pdf" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy should still format")
+	}
+}
+
+func TestRepeatedRunsStress(t *testing.T) {
+	// Hammer the wakeup protocol: many small graphs back to back.
+	for i := 0; i < 30; i++ {
+		in := workloads.Build(workloads.Spec{Name: "mergesort", N: 1 << 10, Grain: 64, Seed: uint64(i)})
+		pol := policies()[i%2]
+		if err := Run(in.Graph, 6, pol); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Verify(); err != nil {
+			t.Fatalf("iteration %d (%v): %v", i, pol, err)
+		}
+	}
+}

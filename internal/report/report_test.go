@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", "cores", "pdf", "ws")
+	t.AddRow(1, 1.0, 1.0)
+	t.AddRow(16, 18.011, 10.35555)
+	return t
+}
+
+func TestStringAligned(t *testing.T) {
+	s := sample().String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "== demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "cores") || !strings.Contains(lines[1], "ws") {
+		t.Fatalf("bad header: %q", lines[1])
+	}
+	if !strings.Contains(s, "18.011") {
+		t.Fatalf("float formatting lost: %s", s)
+	}
+}
+
+func TestFloatsRounded(t *testing.T) {
+	s := sample().String()
+	if strings.Contains(s, "10.35555") {
+		t.Fatal("floats not rounded to 3 places")
+	}
+	if !strings.Contains(s, "10.356") {
+		t.Fatalf("rounded value missing:\n%s", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "cores,pdf,ws" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "16,18.011,") {
+		t.Fatalf("csv row %q", lines[2])
+	}
+}
+
+func TestNote(t *testing.T) {
+	tbl := New("x", "a")
+	tbl.Note = "paper expects Y"
+	if !strings.Contains(tbl.String(), "paper expects Y") {
+		t.Fatal("note not rendered")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := New("empty", "col")
+	s := tbl.String()
+	if !strings.Contains(s, "col") {
+		t.Fatalf("empty table broken: %q", s)
+	}
+}

@@ -1,0 +1,300 @@
+// Package sim is the deterministic, cycle-driven CMP simulation engine.
+//
+// The engine executes a frozen computation DAG on N simulated in-order
+// cores that share a cache.Hierarchy, dispatching ready tasks through a
+// core.Scheduler. Everything runs on one goroutine in strict cycle order
+// (ties broken by core id), so a given (workload, scheduler, configuration,
+// seed) tuple always produces the identical cycle count, miss counts, and
+// execution order — on any machine. This is how the reproduction sidesteps
+// the host Go runtime entirely: the paper's "threads" are simulated tasks,
+// never goroutines.
+//
+// Task execution uses record-then-replay (see internal/trace): at dispatch,
+// the task's closure runs the real algorithm and records its reference
+// stream; the engine then replays the stream action by action, charging
+// cache and bus latencies. DAG edges guarantee input data is final before a
+// task records, so recording at dispatch is exact.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// hardLimit aborts runs that exceed a trillion cycles — a deadlock guard;
+// no experiment in the suite comes within orders of magnitude of it.
+const hardLimit = int64(1) << 40
+
+// coreState is one simulated processor.
+type coreState struct {
+	rec       trace.Recorder
+	task      *dag.Node
+	actions   []trace.Action
+	ip        int
+	nextAt    int64
+	busy      int64
+	taskStart int64 // dispatch cycle of the current task (timeline capture)
+}
+
+// Engine drives one program (one DAG) over a hierarchy. Multiprogramming
+// experiments create several engines sharing one Hierarchy and alternate
+// RunFor quanta.
+type Engine struct {
+	cfg   machine.Config
+	g     *dag.Graph
+	sched core.Scheduler
+	hier  *cache.Hierarchy
+
+	cores   []coreState
+	pending []int32
+	done    int
+	now     int64
+
+	// Premature-node tracking (depth-first fidelity).
+	doneByDF     []bool
+	frontier     int
+	outOfOrder   int
+	maxPremature int
+
+	// Aggregate counters.
+	instructions int64
+	idleCycles   int64
+	dispatchCyc  int64
+
+	// CaptureOrder, when set before Run, records the completion order for
+	// schedule-validity checks in tests.
+	CaptureOrder bool
+	Order        []dag.NodeID
+
+	// CaptureTimeline, when set before Run, records one Span per executed
+	// task — enough to reconstruct the whole schedule as a Gantt chart
+	// (cmd/cmpsim -timeline emits it as CSV).
+	CaptureTimeline bool
+	Timeline        []Span
+}
+
+// Span is one task execution on one core.
+type Span struct {
+	Node  dag.NodeID
+	Core  int
+	Start int64 // dispatch cycle
+	End   int64 // completion cycle
+}
+
+// New prepares an engine. The graph must be frozen. The hierarchy may be
+// shared with other engines (multiprogramming); pass nil to have the engine
+// build a private one from cfg.
+func New(cfg machine.Config, g *dag.Graph, sched core.Scheduler, hier *cache.Hierarchy) *Engine {
+	if !g.Frozen() {
+		panic("sim: graph not frozen")
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if hier == nil {
+		hier = cache.New(cfg.CacheParams())
+	}
+	e := &Engine{
+		cfg:      cfg,
+		g:        g,
+		sched:    sched,
+		hier:     hier,
+		cores:    make([]coreState, cfg.Cores),
+		pending:  g.InDegrees(),
+		doneByDF: make([]bool, g.Len()),
+	}
+	sched.Reset(cfg.Cores, g)
+	sched.Push(0, g.Root())
+	return e
+}
+
+// Hierarchy returns the engine's memory system.
+func (e *Engine) Hierarchy() *cache.Hierarchy { return e.hier }
+
+// Now returns the engine's current cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// Done reports whether every node has completed.
+func (e *Engine) Done() bool { return e.done == e.g.Len() }
+
+// Instructions returns dynamic instructions executed so far.
+func (e *Engine) Instructions() int64 { return e.instructions }
+
+// Run executes the whole DAG and returns the result record.
+func (e *Engine) Run() metrics.Run {
+	e.RunUntil(hardLimit)
+	if !e.Done() {
+		panic(fmt.Sprintf("sim: %d of %d nodes incomplete at hard limit — scheduler lost work",
+			e.g.Len()-e.done, e.g.Len()))
+	}
+	return e.Result()
+}
+
+// RunUntil advances the simulation until every node is done or the clock
+// reaches limit, whichever is first.
+func (e *Engine) RunUntil(limit int64) {
+	for !e.Done() {
+		c := e.nextCore()
+		t := e.cores[c].nextAt
+		if t >= limit {
+			e.now = limit
+			return
+		}
+		e.now = t
+		e.step(c)
+	}
+}
+
+// RunFor advances the simulation by delta cycles from the current clock.
+func (e *Engine) RunFor(delta int64) { e.RunUntil(e.now + delta) }
+
+// nextCore picks the core with the earliest pending event, lowest id first.
+// Core counts are <= 64, so a linear scan beats heap bookkeeping.
+func (e *Engine) nextCore() int {
+	best := 0
+	bestAt := e.cores[0].nextAt
+	for i := 1; i < len(e.cores); i++ {
+		if e.cores[i].nextAt < bestAt {
+			best, bestAt = i, e.cores[i].nextAt
+		}
+	}
+	return best
+}
+
+// step advances core c by one event at e.now.
+func (e *Engine) step(c int) {
+	cs := &e.cores[c]
+	if cs.task == nil {
+		e.dispatch(c)
+		return
+	}
+	if cs.ip < len(cs.actions) {
+		a := cs.actions[cs.ip]
+		cs.ip++
+		var done int64
+		switch a.Kind {
+		case trace.Compute:
+			done = e.now + int64(a.N)
+			e.instructions += int64(a.N)
+		case trace.Load:
+			done = e.hier.Access(c, a.Addr, int(a.N), false, e.now)
+			e.instructions++
+		case trace.Store:
+			done = e.hier.Access(c, a.Addr, int(a.N), true, e.now)
+			e.instructions++
+		}
+		cs.busy += done - e.now
+		cs.nextAt = done
+		return
+	}
+	e.complete(c)
+}
+
+// dispatch asks the scheduler for work for idle core c.
+func (e *Engine) dispatch(c int) {
+	cs := &e.cores[c]
+	n, cost := e.sched.Pop(core.CoreID(c))
+	e.dispatchCyc += cost
+	if n == nil {
+		wait := cost
+		if e.cfg.IdleRetry > wait {
+			wait = e.cfg.IdleRetry
+		}
+		e.idleCycles += wait
+		cs.nextAt = e.now + wait
+		return
+	}
+	cs.task = n
+	cs.taskStart = e.now
+	cs.ip = 0
+	cs.rec.Reset()
+	if n.Run != nil {
+		n.Run(&cs.rec)
+	}
+	cs.actions = cs.rec.Actions()
+	cs.nextAt = e.now + cost + e.cfg.SpawnOverhead
+}
+
+// complete finishes core c's task at e.now, releasing children.
+func (e *Engine) complete(c int) {
+	cs := &e.cores[c]
+	n := cs.task
+	cs.task = nil
+	cs.actions = nil
+	cs.nextAt = e.now
+
+	e.done++
+	if e.CaptureOrder {
+		e.Order = append(e.Order, n.ID)
+	}
+	if e.CaptureTimeline {
+		e.Timeline = append(e.Timeline, Span{Node: n.ID, Core: c, Start: cs.taskStart, End: e.now})
+	}
+
+	// Premature accounting: completions ahead of the sequential frontier.
+	df := int(n.DF)
+	e.doneByDF[df] = true
+	if df == e.frontier {
+		e.frontier++
+		for e.frontier < len(e.doneByDF) && e.doneByDF[e.frontier] {
+			e.frontier++
+			e.outOfOrder--
+		}
+	} else {
+		e.outOfOrder++
+		if e.outOfOrder > e.maxPremature {
+			e.maxPremature = e.outOfOrder
+		}
+	}
+
+	// Release children in REVERSE spawn order (see core.Scheduler contract:
+	// LIFO policies then surface the leftmost child first).
+	kids := n.Children()
+	for i := len(kids) - 1; i >= 0; i-- {
+		k := kids[i]
+		e.pending[k.ID]--
+		if e.pending[k.ID] == 0 {
+			e.sched.Push(core.CoreID(c), k)
+		}
+	}
+}
+
+// Result assembles the metrics record for the work completed so far.
+func (e *Engine) Result() metrics.Run {
+	r := metrics.Run{
+		Scheduler:    e.sched.Name(),
+		Cores:        e.cfg.Cores,
+		Config:       e.cfg.Name,
+		Cycles:       e.now,
+		Instructions: e.instructions,
+		Tasks:        int64(e.done),
+		IdleCycles:   e.idleCycles,
+		DispatchCyc:  e.dispatchCyc,
+		MaxPremature: e.maxPremature,
+	}
+	for i := range e.cores {
+		r.BusyCycles += e.cores[i].busy
+		s := e.hier.L1(i).Stats
+		r.L1Hits += s.Hits
+		r.L1Misses += s.Misses
+	}
+	l2 := e.hier.L2().Stats
+	r.L2Hits = l2.Hits
+	r.L2Misses = l2.Misses
+	r.L2Writebacks = l2.Writebacks
+	r.OffchipTransfers = e.hier.OffchipTransfers
+	r.OffchipBytes = e.hier.OffchipBytes
+	r.BusQueueCycles = e.hier.Bus().QueueCycles
+	r.BusUtilization = e.hier.Bus().Utilization(e.now)
+	ss := e.sched.Stats()
+	r.Steals = ss.Steals
+	r.StealProbes = ss.StealProbes
+	r.FailedSteals = ss.FailedSteals
+	return r
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+func TestTimelineCapture(t *testing.T) {
+	cfg := testConfig(4)
+	g := forkJoin(16, 1000)
+	e := New(cfg, g, core.NewPDF(overheadsOf(cfg)), nil)
+	e.CaptureTimeline = true
+	r := e.Run()
+
+	if int64(len(e.Timeline)) != r.Tasks {
+		t.Fatalf("timeline has %d spans, ran %d tasks", len(e.Timeline), r.Tasks)
+	}
+	seen := map[dag.NodeID]bool{}
+	perCoreEnd := map[int]int64{}
+	for _, s := range e.Timeline {
+		if seen[s.Node] {
+			t.Fatalf("node %d appears twice in timeline", s.Node)
+		}
+		seen[s.Node] = true
+		if s.End < s.Start {
+			t.Fatalf("span ends before it starts: %+v", s)
+		}
+		if s.Core < 0 || s.Core >= cfg.Cores {
+			t.Fatalf("span on invalid core: %+v", s)
+		}
+		// A core's spans must not overlap (it runs one task at a time).
+		if s.Start < perCoreEnd[s.Core] {
+			t.Fatalf("core %d spans overlap: start %d < previous end %d",
+				s.Core, s.Start, perCoreEnd[s.Core])
+		}
+		perCoreEnd[s.Core] = s.End
+	}
+	// The fork-join width is 16 on 4 cores: more than one core must have
+	// been used.
+	cores := map[int]bool{}
+	for _, s := range e.Timeline {
+		cores[s.Core] = true
+	}
+	if len(cores) < 2 {
+		t.Fatalf("timeline shows only %d cores used", len(cores))
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	cfg := testConfig(2)
+	e := New(cfg, forkJoin(4, 100), core.NewPDF(overheadsOf(cfg)), nil)
+	e.Run()
+	if e.Timeline != nil {
+		t.Fatal("timeline captured without CaptureTimeline")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestComputeCoalescing(t *testing.T) {
+	var r Recorder
+	r.Compute(3)
+	r.Compute(4)
+	r.Load(100, 8)
+	r.Compute(1)
+	acts := r.Actions()
+	if len(acts) != 3 {
+		t.Fatalf("got %d actions, want 3 (coalesced): %v", len(acts), acts)
+	}
+	if acts[0].Kind != Compute || acts[0].N != 7 {
+		t.Fatalf("first action = %+v, want compute 7", acts[0])
+	}
+}
+
+func TestComputeZeroIgnored(t *testing.T) {
+	var r Recorder
+	r.Compute(0)
+	r.Compute(-5)
+	if r.Len() != 0 {
+		t.Fatalf("zero/negative compute recorded: %v", r.Actions())
+	}
+}
+
+func TestInstructionsCount(t *testing.T) {
+	var r Recorder
+	r.Compute(10)
+	r.Load(0, 8)
+	r.Store(8, 8)
+	if got := r.Instructions(); got != 12 {
+		t.Fatalf("Instructions = %d, want 12", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Recorder
+	r.Load(1, 8)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	r.Compute(2)
+	if r.Len() != 1 {
+		t.Fatal("recorder unusable after Reset")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var r Recorder
+	r.Compute(5)
+	r.Load(0, 8)
+	r.Load(8, 8)
+	r.Store(16, 8)
+	s := Summarize(r.Actions())
+	if s.Loads != 2 || s.Stores != 1 || s.ComputeCyc != 5 || s.Instructions != 8 || s.Actions != 4 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+}
+
+func TestInt64sRoundTrip(t *testing.T) {
+	sp := mem.NewSpace(0)
+	a := NewInt64s(sp, "a", 16)
+	var r Recorder
+	for i := 0; i < 16; i++ {
+		a.Set(&r, i, int64(i*i))
+	}
+	for i := 0; i < 16; i++ {
+		if got := a.Get(&r, i); got != int64(i*i) {
+			t.Fatalf("a[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+	s := Summarize(r.Actions())
+	if s.Loads != 16 || s.Stores != 16 {
+		t.Fatalf("trace mismatch: %+v", s)
+	}
+}
+
+func TestInt64sAddresses(t *testing.T) {
+	sp := mem.NewSpace(0)
+	a := NewInt64s(sp, "a", 8)
+	if err := quick.Check(func(iRaw uint8) bool {
+		i := int(iRaw % 8)
+		return a.Addr(i) == a.Base+mem.Addr(i*8)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64sSlice(t *testing.T) {
+	sp := mem.NewSpace(0)
+	a := NewInt64s(sp, "a", 32)
+	var r Recorder
+	a.Set(&r, 10, 77)
+	sub := a.Slice(8, 16)
+	if sub.Len() != 8 {
+		t.Fatalf("slice len %d", sub.Len())
+	}
+	if got := sub.Get(&r, 2); got != 77 {
+		t.Fatalf("slice data not shared: %d", got)
+	}
+	if sub.Addr(2) != a.Addr(10) {
+		t.Fatalf("slice addr mapping broken: %x vs %x", sub.Addr(2), a.Addr(10))
+	}
+}
+
+func TestFloat64sAndInt32s(t *testing.T) {
+	sp := mem.NewSpace(0)
+	f := NewFloat64s(sp, "f", 4)
+	x := NewInt32s(sp, "x", 4)
+	var r Recorder
+	f.Set(&r, 1, 3.5)
+	x.Set(&r, 2, -9)
+	if f.Get(&r, 1) != 3.5 || x.Get(&r, 2) != -9 {
+		t.Fatal("typed array round trip failed")
+	}
+	if x.Addr(1)-x.Addr(0) != 4 {
+		t.Fatalf("int32 stride = %d, want 4", x.Addr(1)-x.Addr(0))
+	}
+	if f.Addr(1)-f.Addr(0) != 8 {
+		t.Fatalf("float64 stride = %d, want 8", f.Addr(1)-f.Addr(0))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}

@@ -1,0 +1,294 @@
+// Package workloads generates the benchmark computations the paper's
+// evaluation runs: fine-grained divide-and-conquer programs (parallel merge
+// sort — Figure 1 — plus quicksort, FFT, LU, and recursive matrix multiply),
+// bandwidth-limited irregular programs (sparse matrix-vector iteration,
+// clustered histogram), streaming programs with little reuse (parallel
+// prefix scan), and deliberately coarse-grained SMP-style variants of the
+// same computations (the paper's Finding 3).
+//
+// Every workload builds a dag.Graph whose tasks execute the genuine
+// algorithm on live data while recording simulated memory references, so
+// the reference streams the cache hierarchy sees are authentic. A workload
+// instance is single-use: running it mutates its data, so experiments build
+// a fresh instance (same Spec, same seed, hence identical data) per run.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Spec names a workload and its parameters. Equal Specs build identical
+// instances (all randomness derives from Seed).
+type Spec struct {
+	Name    string
+	N       int    // problem size: elements, keys, or matrix dimension
+	Grain   int    // target task granularity, in elements (leaf size)
+	Iters   int    // iteration count for iterative workloads (spmv)
+	Seed    uint64 // data-generation seed
+	SpaceID uint8  // address space (multiprogramming experiments co-run spaces)
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(n=%d,grain=%d,iters=%d,seed=%d)", s.Name, s.N, s.Grain, s.Iters, s.Seed)
+}
+
+// Instance is a ready-to-simulate workload: a frozen DAG over allocated
+// simulated arrays, plus a functional-correctness check to run afterwards.
+type Instance struct {
+	Spec   Spec
+	Graph  *dag.Graph
+	Space  *mem.Space
+	Verify func() error
+}
+
+// Footprint returns the instance's total allocated bytes.
+func (in *Instance) Footprint() uint64 { return in.Space.Footprint() }
+
+// Build constructs the named workload. It panics on unknown names or
+// malformed parameters — Specs are experiment-table input, not user input.
+func Build(s Spec) *Instance {
+	if s.N <= 0 {
+		panic(fmt.Sprintf("workloads: %v has non-positive N", s))
+	}
+	if s.Grain <= 0 {
+		s.Grain = 1024
+	}
+	switch s.Name {
+	case "mergesort":
+		return buildMergesort(s, false)
+	case "mergesort-coarse":
+		return buildMergesort(s, true)
+	case "quicksort":
+		return buildQuicksort(s)
+	case "matmul":
+		return buildMatmul(s)
+	case "spmv":
+		return buildSpMV(s)
+	case "scan":
+		return buildScan(s)
+	case "fft":
+		return buildFFT(s)
+	case "lu":
+		return buildLU(s)
+	case "histogram":
+		return buildHistogram(s)
+	case "hashjoin":
+		return buildHashJoin(s)
+	default:
+		panic("workloads: unknown workload " + s.Name)
+	}
+}
+
+// Names lists the available workloads in a stable order.
+func Names() []string {
+	return []string{
+		"mergesort", "mergesort-coarse", "quicksort", "matmul",
+		"spmv", "scan", "fft", "lu", "histogram", "hashjoin",
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared recorded kernels
+
+// recordedLeafSort sorts data's live values, recording an authentic
+// bottom-up merge sort that ping-pongs between data and scratch (two equal-
+// length simulated segments). The sorted result is left in data, or in
+// scratch when intoScratch is set; a final recorded copy pass fixes the
+// parity when needed, exactly as a real implementation would.
+func recordedLeafSort(r *trace.Recorder, data, scratch trace.Int64s, intoScratch bool) {
+	n := data.Len()
+	dst := data
+	if intoScratch {
+		dst = scratch
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		if intoScratch {
+			scratch.Set(r, 0, data.Get(r, 0))
+		}
+		return
+	}
+	cur, other := data, scratch
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			recordedMergeRun(r, cur, other, lo, mid, hi)
+		}
+		cur, other = other, cur
+	}
+	if cur.Base != dst.Base {
+		// Result landed in the wrong buffer; one recorded copy pass.
+		for i := 0; i < n; i++ {
+			dst.Set(r, i, cur.Get(r, i))
+		}
+	}
+}
+
+// recordedMergeRun merges cur[lo:mid) and cur[mid:hi) into other[lo:hi),
+// recording every comparison's loads and every store.
+func recordedMergeRun(r *trace.Recorder, cur, other trace.Int64s, lo, mid, hi int) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		var v int64
+		switch {
+		case i >= mid:
+			v = cur.Get(r, j)
+			j++
+		case j >= hi:
+			v = cur.Get(r, i)
+			i++
+		default:
+			a := cur.Get(r, i)
+			b := cur.Get(r, j)
+			r.Compute(1)
+			if a <= b {
+				v = a
+				i++
+			} else {
+				v = b
+				j++
+			}
+		}
+		other.Set(r, k, v)
+		r.Compute(1)
+	}
+}
+
+// corank finds the split (i, j) with i+j = k such that merging a[:i] and
+// b[:j] yields the first k outputs of merge(a, b), recording the binary
+// search's probe loads. Standard parallel-merge co-ranking.
+func corank(r *trace.Recorder, k int, a, b trace.Int64s) (int, int) {
+	lo := max(0, k-b.Len())
+	hi := min(k, a.Len())
+	for lo < hi {
+		i := (lo + hi) / 2
+		j := k - i
+		// Valid split: (i==0 || j==lenB || a[i-1] <= b[j]) and
+		// (j==0 || i==lenA || b[j-1] < a[i]), matching the stable
+		// merge's take-from-a-on-ties rule.
+		r.Compute(2)
+		if j > 0 && i < a.Len() && a.Get(r, i) <= b.Get(r, j-1) {
+			lo = i + 1
+		} else if i > 0 && j < b.Len() && b.Get(r, j) < a.Get(r, i-1) {
+			hi = i - 1
+		} else {
+			return i, j
+		}
+	}
+	return lo, k - lo
+}
+
+// recordedMergeSegment merges the output range [k0, k1) of merge(a, b) into
+// out[k0:k1), co-ranking both endpoints first. This is the task body of the
+// fine-grained parallel merge.
+func recordedMergeSegment(r *trace.Recorder, a, b, out trace.Int64s, k0, k1 int) {
+	i0, j0 := corank(r, k0, a, b)
+	i1, j1 := corank(r, k1, a, b)
+	i, j := i0, j0
+	for k := k0; k < k1; k++ {
+		var v int64
+		switch {
+		case i >= i1:
+			v = b.Get(r, j)
+			j++
+		case j >= j1:
+			v = a.Get(r, i)
+			i++
+		default:
+			av := a.Get(r, i)
+			bv := b.Get(r, j)
+			r.Compute(1)
+			if av <= bv {
+				v = av
+				i++
+			} else {
+				v = bv
+				j++
+			}
+		}
+		out.Set(r, k, v)
+		r.Compute(1)
+	}
+}
+
+// verifySorted checks that got is a sorted permutation of want (consumed by
+// sorting a copy).
+func verifySorted(name string, got []int64, want []int64) error {
+	ref := append([]int64(nil), want...)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	if len(got) != len(ref) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			return fmt.Errorf("%s: element %d = %d, want %d", name, i, got[i], ref[i])
+		}
+	}
+	return nil
+}
+
+// spawnTree builds the binary spawn tree a Cilk-style `parallel for` emits:
+// the range [lo, hi) splits recursively down to spans of at most leafSpan,
+// with leaf(lo, hi) creating each leaf task node. Left-to-right order fixes
+// the 1DF numbering to the sequential iteration order.
+//
+// This structure (rather than a flat fan-out) is essential to reproducing
+// the schedulers' divergence: with a flat fan-out, WS thieves drain one
+// deque oldest-first and end up on ADJACENT blocks — accidentally sharing
+// constructively, which no fine-grained runtime of the paper's era actually
+// did. With the spawn tree, a thief steals a distant subtree, exactly the
+// disjoint-working-set behavior the paper describes. Returns the subtree's
+// exit (join) node.
+func spawnTree(g *dag.Graph, parent *dag.Node, lo, hi, leafSpan int, leaf func(lo, hi int) *dag.Node) *dag.Node {
+	if hi-lo <= leafSpan {
+		n := leaf(lo, hi)
+		g.AddEdge(parent, n)
+		return n
+	}
+	mid := lo + (hi-lo)/2
+	split := g.AddNode("spawn", nil)
+	g.AddEdge(parent, split)
+	le := spawnTree(g, split, lo, mid, leafSpan, leaf)
+	re := spawnTree(g, split, mid, hi, leafSpan, leaf)
+	join := g.AddNode("sync", nil)
+	g.AddEdge(le, join)
+	g.AddEdge(re, join)
+	return join
+}
+
+// splitRange is one leaf span of a spawnTree.
+type splitRange struct{ lo, hi int }
+
+// splitRanges returns, in left-to-right order, exactly the leaf ranges
+// spawnTree(…, lo, hi, leafSpan, …) will create. Workloads that need a
+// per-leaf side array (e.g. scan's block sums) size and index it with this.
+func splitRanges(lo, hi, leafSpan int) []splitRange {
+	if hi-lo <= leafSpan {
+		return []splitRange{{lo, hi}}
+	}
+	mid := lo + (hi-lo)/2
+	return append(splitRanges(lo, mid, leafSpan), splitRanges(mid, hi, leafSpan)...)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,9 @@
+package xprng
+
+import "math"
+
+// Thin wrappers keep the single math dependency in one place and make the
+// PRNG core readable.
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }

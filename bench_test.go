@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +22,9 @@ import (
 
 var benchSink any
 
+// benchExperiment runs the experiment through the same runner-backed path
+// as cmd/sweep: cells fan out across exp.Parallelism workers (GOMAXPROCS
+// by default), and results are deterministic at any setting.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -30,6 +34,15 @@ func benchExperiment(b *testing.B, id string) {
 		}
 		benchSink = res
 	}
+}
+
+// benchExperimentAt pins the runner's parallelism for the duration of the
+// benchmark — the Serial/Parallel pair below measures the fan-out win.
+func benchExperimentAt(b *testing.B, id string, parallel int) {
+	b.Helper()
+	defer func(old int) { exp.Parallelism = old }(exp.Parallelism)
+	exp.Parallelism = parallel
+	benchExperiment(b, id)
 }
 
 // ratioAtTop extracts, from the last row of the first table, the ratio in
@@ -108,6 +121,17 @@ func BenchmarkA2L2Size(b *testing.B)    { benchExperiment(b, "a2-l2size") }
 func BenchmarkA3Bandwidth(b *testing.B) { benchExperiment(b, "a3-bandwidth") }
 func BenchmarkA4Policies(b *testing.B)  { benchExperiment(b, "a4-stealpolicy") }
 func BenchmarkA5Premature(b *testing.B) { benchExperiment(b, "a5-premature") }
+
+// --- Runner fan-out -----------------------------------------------------------
+
+// The Serial/Parallel pair measures the experiment-runner speedup on the
+// densest cell grid (fig1-misses: 2 schedulers x 7 configs). Outputs are
+// byte-identical; only wall time differs.
+
+func BenchmarkFig1MissesSerial(b *testing.B) { benchExperimentAt(b, "fig1-misses", 1) }
+func BenchmarkFig1MissesParallel(b *testing.B) {
+	benchExperimentAt(b, "fig1-misses", runtime.GOMAXPROCS(0))
+}
 
 // --- Simulator throughput ----------------------------------------------------
 

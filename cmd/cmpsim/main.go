@@ -29,7 +29,7 @@ func main() {
 		iters    = flag.Int("iters", 0, "iterations for iterative workloads (0 = default)")
 		cores    = flag.Int("cores", 8, "number of cores (1-64); default CMP config is derived")
 		sched    = flag.String("sched", "pdf", "scheduler: pdf, ws, ws-stealnewest, fifo")
-		seed     = flag.Uint64("seed", exp.Seed, "workload data seed")
+		seed     = flag.Uint64("seed", exp.Seed, "seed for workload data and WS victim-selection RNG")
 		shape    = flag.Bool("shape", false, "print DAG shape statistics and exit")
 		attr     = flag.Bool("attr", false, "attribute off-chip traffic to the workload's arrays")
 		timeline = flag.Bool("timeline", false, "dump the schedule as CSV (node,label,core,start,end) to stdout")
@@ -50,7 +50,10 @@ func main() {
 	fmt.Printf("workload: %v\n", spec)
 
 	in := workloads.Build(spec)
-	s := core.ByName(*sched, exp.OverheadsOf(cfg), exp.Seed)
+	// The parsed -seed drives both the workload data (via spec) and the
+	// scheduler's RNG; passing exp.Seed here would pin WS victim selection
+	// to the default seed no matter what the user asked for.
+	s := core.ByName(*sched, exp.OverheadsOf(cfg), *seed)
 	e := sim.New(cfg, in.Graph, s, nil)
 	var attribution *cache.Attribution
 	if *attr {

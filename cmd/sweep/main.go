@@ -5,24 +5,34 @@
 //
 //	sweep -exp fig1-misses          # one experiment
 //	sweep -exp all                  # the whole evaluation
+//	sweep -exp all -parallel 8      # fan cells out over 8 workers
 //	sweep -exp fig1-speedup -csv    # machine-readable series
 //	sweep -list                     # available experiment ids
+//
+// -parallel N (default GOMAXPROCS) runs independent simulation cells — and,
+// for -exp all, distinct experiment ids — on N concurrent workers. Every
+// cell is deterministic and results are always emitted in canonical order,
+// so the output is byte-identical at any parallelism level; -parallel 1
+// forces the serial path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		id    = flag.String("exp", "all", "experiment id, or 'all'")
-		quick = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		id       = flag.String("exp", "all", "experiment id, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
 	)
 	flag.Parse()
 
@@ -33,15 +43,24 @@ func main() {
 		return
 	}
 
+	exp.Parallelism = *parallel
+
 	ids := exp.IDs()
 	if *id != "all" {
 		ids = []string{*id}
 	}
-	for _, e := range ids {
-		res, err := exp.Run(e, *quick)
+
+	// Distinct experiment ids fan out across the same worker budget; the
+	// stream yields results in canonical id order as soon as each id and
+	// its predecessors finish, so tables print incrementally but always in
+	// the order a serial run would produce.
+	jobs := make([]runner.Job[*exp.Result], len(ids))
+	for i, e := range ids {
+		jobs[i] = func() (*exp.Result, error) { return exp.Run(e, *quick) }
+	}
+	err := runner.Stream(*parallel, jobs, func(i int, res *exp.Result, err error) error {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %v", ids[i], err)
 		}
 		for _, t := range res.Tables {
 			if *csv {
@@ -50,5 +69,10 @@ func main() {
 				fmt.Println(t)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

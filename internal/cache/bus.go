@@ -9,6 +9,7 @@ package cache
 // bottleneck abstraction.
 type Bus struct {
 	bytesPerCycle float64
+	microBPC      int64 // bandwidth in micro-bytes/cycle, for exact ceilings
 	freeAt        int64
 
 	Transfers   int64
@@ -20,7 +21,21 @@ type Bus struct {
 // NewBus returns a bus with the given sustained bandwidth in bytes/cycle.
 // Zero or negative bandwidth means infinite (no bus modeling).
 func NewBus(bytesPerCycle float64) *Bus {
-	return &Bus{bytesPerCycle: bytesPerCycle}
+	b := &Bus{bytesPerCycle: bytesPerCycle}
+	if bytesPerCycle > 0 {
+		// Snap the bandwidth to micro-bytes/cycle once so Transfer can use
+		// integer ceiling division. Config values have at most a few decimal
+		// digits (4, 6.4, 3.2, ...), which this represents exactly — unlike
+		// float division, whose rounding can overcharge a cycle when the
+		// quotient is an exact integer (e.g. 64 bytes at 3.2 B/cycle).
+		b.microBPC = int64(bytesPerCycle*1e6 + 0.5)
+		if b.microBPC < 1 {
+			// Positive bandwidth below the micro-unit resolution: clamp
+			// rather than divide by zero in Transfer.
+			b.microBPC = 1
+		}
+	}
+	return b
 }
 
 // BytesPerCycle returns the configured bandwidth (0 = infinite).
@@ -36,7 +51,8 @@ func (b *Bus) Transfer(now int64, bytes int) (done int64) {
 	if b.bytesPerCycle <= 0 {
 		return now
 	}
-	dur := int64(float64(bytes)/b.bytesPerCycle + 0.999999)
+	// Exact ceil(bytes / bytesPerCycle) in integer arithmetic.
+	dur := (int64(bytes)*1_000_000 + b.microBPC - 1) / b.microBPC
 	if dur < 1 {
 		dur = 1
 	}

@@ -186,6 +186,36 @@ func TestBusSerializesBandwidth(t *testing.T) {
 	}
 }
 
+// TestBusExactCeiling pins the transfer-duration rounding: an exact
+// multiple of the bandwidth must not be overcharged a cycle (the old
+// float64 fudge `+ 0.999999` could round 64/3.2 = 20 up to 21), and
+// fractional quotients must still round up.
+func TestBusExactCeiling(t *testing.T) {
+	cases := []struct {
+		bpc   float64
+		bytes int
+		want  int64
+	}{
+		{3.2, 64, 20},          // exact multiple of a fractional bandwidth
+		{6.4, 64, 10},          // exact multiple
+		{1.6, 64, 40},          // exact multiple
+		{4, 64, 16},            // integer bandwidth, exact
+		{12, 64, 6},            // 5.33... rounds up
+		{6, 64, 11},            // 10.66... rounds up
+		{3.2, 65, 21},          // 20.3125 rounds up
+		{128, 64, 1},           // sub-cycle transfer still occupies one cycle
+		{0.5, 64, 128},         // sub-byte-per-cycle bandwidth
+		{1e-7, 64, 64_000_000}, // below micro-unit resolution: clamped, no divide-by-zero
+	}
+	for _, c := range cases {
+		b := NewBus(c.bpc)
+		if got := b.Transfer(0, c.bytes); got != c.want {
+			t.Errorf("Transfer(%d bytes at %v B/cycle) done at %d, want %d",
+				c.bytes, c.bpc, got, c.want)
+		}
+	}
+}
+
 func TestInfiniteBus(t *testing.T) {
 	b := NewBus(0)
 	if d := b.Transfer(10, 64); d != 10 {

@@ -26,21 +26,21 @@ func runA1Grain(quick bool) (*Result, error) {
 		grains = []int{512, 4096, n / cores}
 	}
 	seen := map[int]bool{}
+	var cells []cell
 	for _, grain := range grains {
 		if seen[grain] {
 			continue
 		}
 		seen[grain] = true
-		spec := workloads.Spec{Name: "mergesort", N: n, Grain: grain, Seed: Seed}
-		p, err := RunOne(cfg, spec, "pdf")
-		if err != nil {
-			return nil, err
-		}
-		w, err := RunOne(cfg, spec, "ws")
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(grain, p.Tasks, p.Cycles, w.Cycles, p.L2MPKI(), w.L2MPKI(),
+		cells = append(cells, pairCells(cfg, workloads.Spec{Name: "mergesort", N: n, Grain: grain, Seed: Seed})...)
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += 2 {
+		p, w := runs[i], runs[i+1]
+		t.AddRow(cells[i].spec.Grain, p.Tasks, p.Cycles, w.Cycles, p.L2MPKI(), w.L2MPKI(),
 			ratio(float64(w.Cycles), float64(p.Cycles)))
 		res.Runs = append(res.Runs, p, w)
 	}
@@ -65,19 +65,20 @@ func runA2L2Size(quick bool) (*Result, error) {
 	if quick {
 		sizes = []int64{512 << 10, 2 << 20}
 	}
+	var cells []cell
 	for _, l2 := range sizes {
 		cfg := machine.Default(cores)
 		cfg.L2Size = l2
 		cfg.Name = "l2-" + byteSize(l2)
-		p, err := RunOne(cfg, spec, "pdf")
-		if err != nil {
-			return nil, err
-		}
-		w, err := RunOne(cfg, spec, "ws")
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(byteSize(l2), p.Cycles, w.Cycles, p.L2MPKI(), w.L2MPKI(),
+		cells = append(cells, pairCells(cfg, spec)...)
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += 2 {
+		p, w := runs[i], runs[i+1]
+		t.AddRow(byteSize(cells[i].cfg.L2Size), p.Cycles, w.Cycles, p.L2MPKI(), w.L2MPKI(),
 			ratio(float64(w.Cycles), float64(p.Cycles)))
 		res.Runs = append(res.Runs, p, w)
 	}
@@ -103,19 +104,20 @@ func runA3Bandwidth(quick bool) (*Result, error) {
 	if quick {
 		bws = []float64{4, 0}
 	}
+	var cells []cell
 	for _, bw := range bws {
 		cfg := machine.Default(cores)
 		cfg.BusBPC = bw
-		p, err := RunOne(cfg, spec, "pdf")
-		if err != nil {
-			return nil, err
-		}
-		w, err := RunOne(cfg, spec, "ws")
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, pairCells(cfg, spec)...)
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += 2 {
+		p, w := runs[i], runs[i+1]
 		label := "inf"
-		if bw > 0 {
+		if bw := cells[i].cfg.BusBPC; bw > 0 {
 			label = formatF(bw)
 		}
 		t.AddRow(label, p.Cycles, w.Cycles, p.BusUtilization, w.BusUtilization,
@@ -140,12 +142,16 @@ func runA4Policies(quick bool) (*Result, error) {
 		"policy", "cycles", "L2 MPKI", "steals", "premature high-water")
 	t.Note = "pdf ~ sequential order; ws steals oldest; ws-stealnewest and fifo are strawmen"
 	res := &Result{ID: "a4-stealpolicy", Tables: []*report.Table{t}}
+	var cells []cell
 	for _, sched := range []string{"pdf", "ws", "ws-stealnewest", "fifo"} {
-		r, err := RunOne(cfg, spec, sched)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(sched, r.Cycles, r.L2MPKI(), r.Steals, r.MaxPremature)
+		cells = append(cells, cell{cfg, spec, sched})
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		t.AddRow(cells[i].sched, r.Cycles, r.L2MPKI(), r.Steals, r.MaxPremature)
 		res.Runs = append(res.Runs, r)
 	}
 	return res, nil

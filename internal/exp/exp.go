@@ -7,11 +7,13 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -19,6 +21,38 @@ import (
 // Seed fixes all experiment randomness (data generation and WS victim
 // selection). Published numbers in EXPERIMENTS.md use this seed.
 const Seed = 20060730 // SPAA'06 opening day
+
+// Parallelism is the number of simulation cells run concurrently by the
+// experiments (1 = serial). Each cell is deterministic and independent, and
+// the runner preserves submit order, so results are identical at every
+// setting; only wall time changes. cmd/sweep's -parallel flag sets this.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// A cell names one independent simulation: a workload instance on a machine
+// configuration under a scheduler. Experiments enumerate their cells up
+// front and submit the batch to the runner instead of looping over RunOne.
+type cell struct {
+	cfg   machine.Config
+	spec  workloads.Spec
+	sched string
+}
+
+// runCells executes cells across Parallelism workers, returning runs in
+// cell order (the runner guarantees submit-order delivery, so output is
+// byte-identical to a serial loop).
+func runCells(cells []cell) ([]metrics.Run, error) {
+	jobs := make([]runner.Job[metrics.Run], len(cells))
+	for i, c := range cells {
+		jobs[i] = func() (metrics.Run, error) { return RunOne(c.cfg, c.spec, c.sched) }
+	}
+	return runner.Map(Parallelism, jobs)
+}
+
+// pairCells enumerates the pdf/ws cell pair for one (config, workload)
+// point — the shape almost every experiment sweeps.
+func pairCells(cfg machine.Config, spec workloads.Spec) []cell {
+	return []cell{{cfg, spec, "pdf"}, {cfg, spec, "ws"}}
+}
 
 // OverheadsOf extracts the scheduler cost knobs from a machine config.
 func OverheadsOf(cfg machine.Config) core.Overheads {

@@ -20,15 +20,17 @@ func fig1Sweep(quick bool) (map[string][]metrics.Run, []machine.Config, error) {
 	if quick {
 		configs = configs[:4] // 1..8 cores
 	}
-	runs := map[string][]metrics.Run{}
+	var cells []cell
 	for _, cfg := range configs {
-		for _, sched := range []string{"pdf", "ws"} {
-			r, err := RunOne(cfg, fig1Spec(quick), sched)
-			if err != nil {
-				return nil, nil, err
-			}
-			runs[sched] = append(runs[sched], r)
-		}
+		cells = append(cells, pairCells(cfg, fig1Spec(quick))...)
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	runs := map[string][]metrics.Run{}
+	for i, c := range cells {
+		runs[c.sched] = append(runs[c.sched], results[i])
 	}
 	return runs, configs, nil
 }

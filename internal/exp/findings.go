@@ -14,22 +14,22 @@ func classTable(id, title, note string, specs []workloads.Spec, coreCounts []int
 		"workload", "cores", "pdf cycles", "ws cycles", "pdf/ws speedup", "traffic reduction %")
 	t.Note = note
 	res := &Result{ID: id, Tables: []*report.Table{t}}
+	var cells []cell
 	for _, spec := range specs {
 		for _, cores := range coreCounts {
-			cfg := machine.Default(cores)
-			p, err := RunOne(cfg, spec, "pdf")
-			if err != nil {
-				return nil, err
-			}
-			w, err := RunOne(cfg, spec, "ws")
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(spec.Name, cores, p.Cycles, w.Cycles,
-				ratio(float64(w.Cycles), float64(p.Cycles)),
-				100*p.TrafficReductionVs(w))
-			res.Runs = append(res.Runs, p, w)
+			cells = append(cells, pairCells(machine.Default(cores), spec)...)
 		}
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += 2 {
+		p, w := runs[i], runs[i+1]
+		t.AddRow(cells[i].spec.Name, cells[i].cfg.Cores, p.Cycles, w.Cycles,
+			ratio(float64(w.Cycles), float64(p.Cycles)),
+			100*p.TrafficReductionVs(w))
+		res.Runs = append(res.Runs, p, w)
 	}
 	return res, nil
 }
@@ -117,24 +117,26 @@ func runT5Coarse(quick bool) (*Result, error) {
 		"variant", "sched", "cycles", "L2 MPKI", "pdf/ws speedup")
 	t.Note = "paper: coarse-grained SMP-style code cannot exploit constructive sharing"
 	res := &Result{ID: "t5-coarse", Tables: []*report.Table{t}}
-	for _, variant := range []struct {
+	variants := []struct {
 		label string
 		spec  workloads.Spec
 	}{
 		{"fine", workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}},
 		// Coarse: one task per core's worth of data, sequential merges.
 		{"coarse", workloads.Spec{Name: "mergesort-coarse", N: n, Grain: n / cores, Seed: Seed}},
-	} {
-		p, err := RunOne(cfg, variant.spec, "pdf")
-		if err != nil {
-			return nil, err
-		}
-		w, err := RunOne(cfg, variant.spec, "ws")
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(variant.label, "pdf", p.Cycles, p.L2MPKI(), ratio(float64(w.Cycles), float64(p.Cycles)))
-		t.AddRow(variant.label, "ws", w.Cycles, w.L2MPKI(), "")
+	}
+	var cells []cell
+	for _, v := range variants {
+		cells = append(cells, pairCells(cfg, v.spec)...)
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		p, w := runs[2*i], runs[2*i+1]
+		t.AddRow(v.label, "pdf", p.Cycles, p.L2MPKI(), ratio(float64(w.Cycles), float64(p.Cycles)))
+		t.AddRow(v.label, "ws", w.Cycles, w.L2MPKI(), "")
 		res.Runs = append(res.Runs, p, w)
 	}
 	return res, nil

@@ -20,6 +20,10 @@ import (
 // how much of A's footprint survived and how sharply A's miss rate spikes
 // right after resuming. Lower occupancy, higher survival, and a smaller
 // resume spike are all direct consequences of PDF's smaller working set.
+//
+// This experiment does not decompose into runner cells: the interleaved
+// RunFor steps of engines A and B share one Hierarchy, so each scheduler
+// arm is a single stateful sequence, and the suite keeps it serial.
 func runT4Multiprog(quick bool) (*Result, error) {
 	cores := 8
 	quantum := int64(2_000_000)

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+)
+
+// renderAll flattens every table of a result (aligned and CSV forms) so the
+// comparison below is over the exact bytes a consumer would see.
+func renderAll(t *testing.T, id string) string {
+	t.Helper()
+	res, err := Run(id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	for _, tbl := range res.Tables {
+		out += tbl.String() + tbl.CSV()
+	}
+	if len(res.Runs) == 0 {
+		t.Fatalf("%s: no raw runs", id)
+	}
+	return out
+}
+
+// TestParallelMatchesSerial asserts the tentpole guarantee: running the
+// experiment suite through the runner at any parallelism yields output
+// byte-identical to the serial path. fig1-misses exercises the paired
+// pdf/ws sweep shape, a4-stealpolicy the one-run-per-row shape.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old int) { Parallelism = old }(Parallelism)
+
+	for _, id := range []string{"fig1-misses", "a4-stealpolicy"} {
+		Parallelism = 1
+		serial := renderAll(t, id)
+		for _, p := range []int{2, runtime.GOMAXPROCS(0), 8} {
+			Parallelism = p
+			if got := renderAll(t, id); got != serial {
+				t.Errorf("%s: output at Parallelism=%d differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, p, serial, got)
+			}
+		}
+	}
+}

@@ -21,27 +21,29 @@ func runT3Power(quick bool) (*Result, error) {
 	t.Note = "paper: PDF's small working set lets cache segments power down at no time cost"
 	res := &Result{ID: "t3-power", Tables: []*report.Table{t}}
 
-	var basePDF, baseWS float64
 	masks := []int{0, 4, 8, 12} // of 16 ways
 	if quick {
 		masks = []int{0, 8}
 	}
+	var cells []cell
 	for _, masked := range masks {
 		cfg := machine.Default(cores)
 		cfg.L2MaskedWays = masked
-		p, err := RunOne(cfg, spec, "pdf")
-		if err != nil {
-			return nil, err
-		}
-		w, err := RunOne(cfg, spec, "ws")
-		if err != nil {
-			return nil, err
-		}
-		if masked == 0 {
+		cells = append(cells, pairCells(cfg, spec)...)
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var basePDF, baseWS float64
+	for i := 0; i < len(cells); i += 2 {
+		cfg := cells[i].cfg
+		p, w := runs[i], runs[i+1]
+		if cfg.L2MaskedWays == 0 {
 			basePDF, baseWS = float64(p.Cycles), float64(w.Cycles)
 		}
-		capacity := cfg.L2Size * int64(cfg.L2Ways-masked) / int64(cfg.L2Ways)
-		t.AddRow(masked, byteSize(capacity),
+		capacity := cfg.L2Size * int64(cfg.L2Ways-cfg.L2MaskedWays) / int64(cfg.L2Ways)
+		t.AddRow(cfg.L2MaskedWays, byteSize(capacity),
 			p.Cycles, ratio(float64(p.Cycles), basePDF),
 			w.Cycles, ratio(float64(w.Cycles), baseWS))
 		res.Runs = append(res.Runs, p, w)

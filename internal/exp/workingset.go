@@ -3,11 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -37,23 +35,20 @@ func runA5Premature(quick bool) (*Result, error) {
 	if quick {
 		coreCounts = []int{2, 8}
 	}
+	var cells []cell
 	for _, cores := range coreCounts {
-		cfg := machine.Default(cores)
-		vals := map[string]int{}
-		for _, sched := range []string{"pdf", "ws"} {
-			in := workloads.Build(spec)
-			s := core.ByName(sched, OverheadsOf(cfg), Seed)
-			e := sim.New(cfg, in.Graph, s, nil)
-			r := e.Run()
-			if err := in.Verify(); err != nil {
-				return nil, fmt.Errorf("a5-premature: %w", err)
-			}
-			r.Workload = spec.Name
-			vals[sched] = r.MaxPremature
-			res.Runs = append(res.Runs, r)
-		}
-		t.AddRow(cores, cores*shape.Depth, vals["pdf"], vals["ws"],
-			ratio(float64(vals["ws"]), float64(max(vals["pdf"], 1))))
+		cells = append(cells, pairCells(machine.Default(cores), spec)...)
+	}
+	runs, err := runCells(cells)
+	if err != nil {
+		return nil, fmt.Errorf("a5-premature: %w", err)
+	}
+	for i := 0; i < len(cells); i += 2 {
+		p, w := runs[i], runs[i+1]
+		cores := cells[i].cfg.Cores
+		t.AddRow(cores, cores*shape.Depth, p.MaxPremature, w.MaxPremature,
+			ratio(float64(w.MaxPremature), float64(max(p.MaxPremature, 1))))
+		res.Runs = append(res.Runs, p, w)
 	}
 	return res, nil
 }

@@ -63,7 +63,12 @@ func (t *Table) Fprint(w io.Writer) {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			b.WriteString(pad(c, widths[i]))
+			// Rows can be wider than the header (the width pass above skips
+			// such cells); print the overflow unpadded instead of panicking.
+			if i < len(widths) {
+				c = pad(c, widths[i])
+			}
+			b.WriteString(c)
 		}
 		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}

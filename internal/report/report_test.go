@@ -61,6 +61,23 @@ func TestNote(t *testing.T) {
 	}
 }
 
+// TestRowWiderThanHeader is the regression test for the Fprint panic: the
+// width pass guarded i < len(widths) but line() did not, so any row with
+// more cells than the header indexed out of range.
+func TestRowWiderThanHeader(t *testing.T) {
+	tbl := New("wide", "a", "b")
+	tbl.AddRow(1, 2, 3, 4) // two overflow cells
+	s := tbl.String()
+	if !strings.Contains(s, "3") || !strings.Contains(s, "4") {
+		t.Fatalf("overflow cells dropped:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if want := "1  2  3  4"; last != want {
+		t.Fatalf("overflow row %q, want %q", last, want)
+	}
+}
+
 func TestEmptyTable(t *testing.T) {
 	tbl := New("empty", "col")
 	s := tbl.String()

@@ -16,6 +16,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/native"
+	"repro/internal/rcache"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -131,6 +132,47 @@ func BenchmarkA5Premature(b *testing.B) { benchExperiment(b, "a5-premature") }
 func BenchmarkFig1MissesSerial(b *testing.B) { benchExperimentAt(b, "fig1-misses", 1) }
 func BenchmarkFig1MissesParallel(b *testing.B) {
 	benchExperimentAt(b, "fig1-misses", runtime.GOMAXPROCS(0))
+}
+
+// --- Result cache ------------------------------------------------------------
+
+// The Cold/Warm pair measures the content-addressed result cache
+// (internal/rcache) on the densest cell grid. Cold resets the store every
+// iteration, so each cell simulates; Warm reuses a pre-populated store, so
+// each cell is a lookup. Outputs are byte-identical; the headline is the
+// wall-time gap (warm runs are expected to be orders of magnitude faster,
+// ≥5x being the regression bar).
+
+func BenchmarkFig1MissesColdCache(b *testing.B) {
+	defer func(old *rcache.Store) { exp.Cache = old }(exp.Cache)
+	for i := 0; i < b.N; i++ {
+		exp.Cache = rcache.NewMemory()
+		res, err := exp.Run("fig1-misses", false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}
+
+func BenchmarkFig1MissesWarmCache(b *testing.B) {
+	defer func(old *rcache.Store) { exp.Cache = old }(exp.Cache)
+	exp.Cache = rcache.NewMemory()
+	if _, err := exp.Run("fig1-misses", false); err != nil {
+		b.Fatal(err)
+	}
+	populated := exp.Cache.Stats().Misses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run("fig1-misses", false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+	if st := exp.Cache.Stats(); st.Misses != populated {
+		b.Fatalf("warm iterations re-simulated cells: %+v", st)
+	}
 }
 
 // --- Simulator throughput ----------------------------------------------------

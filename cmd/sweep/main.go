@@ -1,19 +1,38 @@
 // Command sweep regenerates the paper's figures and findings tables by
-// experiment id (see DESIGN.md for the per-experiment index).
+// experiment id (see EXPERIMENTS.md for the per-experiment index and
+// DESIGN.md for the architecture notes).
 //
 // Usage:
 //
 //	sweep -exp fig1-misses          # one experiment
 //	sweep -exp all                  # the whole evaluation
 //	sweep -exp all -parallel 8      # fan cells out over 8 workers
+//	sweep -exp all -cache ~/.repro-cache   # memoize cells across runs
 //	sweep -exp fig1-speedup -csv    # machine-readable series
 //	sweep -list                     # available experiment ids
+//	sweep -cache DIR -cache-gc      # prune dead cache schema versions
 //
 // -parallel N (default GOMAXPROCS) runs independent simulation cells — and,
-// for -exp all, distinct experiment ids — on N concurrent workers. Every
-// cell is deterministic and results are always emitted in canonical order,
-// so the output is byte-identical at any parallelism level; -parallel 1
-// forces the serial path.
+// for -exp all, distinct experiment ids — on N concurrent workers. The two
+// levels of fan-out share one process-wide budget of N workers, so -parallel
+// never oversubscribes. Every cell is deterministic and results are always
+// emitted in canonical order, so the output is byte-identical at any
+// parallelism level; -parallel 1 forces the serial path.
+//
+// Caching. Every cell is a deterministic function of its identity (machine
+// config, workload spec, scheduler, seed, quick), so its result can be
+// memoized under a content address and replayed instead of re-simulated —
+// tables are byte-identical either way:
+//
+//	-cache DIR       persist results under DIR (shared across runs; a warm
+//	                 repeat of the same sweep simulates no cells — only
+//	                 t4-multiprog, whose engines share state mid-run and so
+//	                 bypass the cell cache, still simulates). Within one
+//	                 run, cells repeated across experiments are deduplicated
+//	                 in memory even without -cache.
+//	-cache-stats     print hit/miss/inflight-dedup counters to stderr on exit
+//	-cache-readonly  consult DIR but never write it (CI-friendly)
+//	-cache-gc        prune entries from dead schema versions in DIR, then exit
 package main
 
 import (
@@ -23,16 +42,21 @@ import (
 	"runtime"
 
 	"repro/internal/exp"
+	"repro/internal/rcache"
 	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		id       = flag.String("exp", "all", "experiment id, or 'all'")
-		quick    = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
+		id         = flag.String("exp", "all", "experiment id, or 'all'")
+		quick      = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
+		cacheDir   = flag.String("cache", "", "result-cache directory; empty = in-memory dedup only")
+		cacheStats = flag.Bool("cache-stats", false, "print result-cache counters to stderr on exit")
+		cacheRO    = flag.Bool("cache-readonly", false, "consult the result cache but never write entries")
+		cacheGC    = flag.Bool("cache-gc", false, "prune dead schema versions under -cache DIR and exit")
 	)
 	flag.Parse()
 
@@ -43,7 +67,45 @@ func main() {
 		return
 	}
 
+	if *cacheGC {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "sweep: -cache-gc requires -cache DIR")
+			os.Exit(2)
+		}
+		if *cacheRO {
+			fmt.Fprintln(os.Stderr, "sweep: -cache-gc deletes dead entries; it contradicts -cache-readonly")
+			os.Exit(2)
+		}
+		versions, entries, err := rcache.GC(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rcache-gc: removed %d dead schema version(s) holding %d entries; live schema is %s\n",
+			versions, entries, rcache.LiveVersion())
+		return
+	}
+
+	if *cacheRO && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -cache-readonly requires -cache DIR")
+		os.Exit(2)
+	}
+
 	exp.Parallelism = *parallel
+	runner.SetBudget(*parallel)
+
+	// The in-memory tier is always on: cells repeated across experiments
+	// within this run deduplicate for free (output is byte-identical either
+	// way). -cache DIR adds the persistent layer.
+	store := rcache.NewMemory()
+	if *cacheDir != "" {
+		var err error
+		if store, err = rcache.Open(*cacheDir, *cacheRO); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+	exp.Cache = store
 
 	ids := exp.IDs()
 	if *id != "all" {
@@ -71,6 +133,11 @@ func main() {
 		}
 		return nil
 	})
+	// Stats print even on failure: a run aborted by a bad cell (or a sick
+	// shared cache) is exactly when the operator wants the counters.
+	if *cacheStats {
+		fmt.Fprintln(os.Stderr, store.Stats())
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -34,7 +34,7 @@ func runA1Grain(quick bool) (*Result, error) {
 		seen[grain] = true
 		cells = append(cells, pairCells(cfg, workloads.Spec{Name: "mergesort", N: n, Grain: grain, Seed: Seed})...)
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +72,7 @@ func runA2L2Size(quick bool) (*Result, error) {
 		cfg.Name = "l2-" + byteSize(l2)
 		cells = append(cells, pairCells(cfg, spec)...)
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func runA3Bandwidth(quick bool) (*Result, error) {
 		cfg.BusBPC = bw
 		cells = append(cells, pairCells(cfg, spec)...)
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +146,7 @@ func runA4Policies(quick bool) (*Result, error) {
 	for _, sched := range []string{"pdf", "ws", "ws-stealnewest", "fifo"} {
 		cells = append(cells, cell{cfg, spec, sched})
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,9 @@
 // Package exp defines the reproduction's experiments: for every figure and
 // finding in the paper there is an experiment id that regenerates the
-// corresponding table or series. DESIGN.md carries the full index; this
-// package is the single implementation used by cmd/sweep, the examples, and
-// the benchmark harness, so all three always agree.
+// corresponding table or series. EXPERIMENTS.md carries the full index (and
+// DESIGN.md the architecture notes behind it); this package is the single
+// implementation used by cmd/sweep, the examples, and the benchmark harness,
+// so all three always agree.
 package exp
 
 import (
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/rcache"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -28,6 +30,14 @@ const Seed = 20060730 // SPAA'06 opening day
 // setting; only wall time changes. cmd/sweep's -parallel flag sets this.
 var Parallelism = runtime.GOMAXPROCS(0)
 
+// Cache, when non-nil, memoizes simulation cells by their content address
+// (config + spec + scheduler + Seed + quick) through runCells. Because every
+// cell is a deterministic function of that identity, a cached Run is byte-
+// for-byte the record a fresh simulation would produce, so experiment output
+// is identical with the cache off, cold, or warm. Set it (like Parallelism)
+// before running experiments; cmd/sweep wires it to the -cache flags.
+var Cache *rcache.Store
+
 // A cell names one independent simulation: a workload instance on a machine
 // configuration under a scheduler. Experiments enumerate their cells up
 // front and submit the batch to the runner instead of looping over RunOne.
@@ -39,13 +49,27 @@ type cell struct {
 
 // runCells executes cells across Parallelism workers, returning runs in
 // cell order (the runner guarantees submit-order delivery, so output is
-// byte-identical to a serial loop).
-func runCells(cells []cell) ([]metrics.Run, error) {
+// byte-identical to a serial loop). quick is part of each cell's cache
+// identity: published (full) and quick tables never share entries even
+// where their shrunken parameters happen to collide.
+func runCells(quick bool, cells []cell) ([]metrics.Run, error) {
 	jobs := make([]runner.Job[metrics.Run], len(cells))
 	for i, c := range cells {
-		jobs[i] = func() (metrics.Run, error) { return RunOne(c.cfg, c.spec, c.sched) }
+		jobs[i] = func() (metrics.Run, error) { return runCell(c, quick) }
 	}
 	return runner.Map(Parallelism, jobs)
+}
+
+// runCell simulates one cell, consulting the injected cache when present.
+// Concurrent requests for the same key — e.g. fig1-misses and fig1-speedup
+// racing to the same mergesort cells under `sweep -exp all` — simulate once;
+// the cache's singleflight layer parks the latecomer on the first result.
+func runCell(c cell, quick bool) (metrics.Run, error) {
+	if Cache == nil {
+		return RunOne(c.cfg, c.spec, c.sched)
+	}
+	key := rcache.KeyOf(c.cfg, c.spec, c.sched, Seed, quick)
+	return Cache.Do(key, func() (metrics.Run, error) { return RunOne(c.cfg, c.spec, c.sched) })
 }
 
 // pairCells enumerates the pdf/ws cell pair for one (config, workload)
@@ -65,7 +89,9 @@ func OverheadsOf(cfg machine.Config) core.Overheads {
 }
 
 // RunOne builds a fresh instance of spec and simulates it on cfg under the
-// named scheduler, verifying functional correctness.
+// named scheduler, verifying functional correctness. This is the uncached
+// compute path; experiment cells go through runCells, which layers the
+// optional Cache on top.
 func RunOne(cfg machine.Config, spec workloads.Spec, sched string) (metrics.Run, error) {
 	in := workloads.Build(spec)
 	s := core.ByName(sched, OverheadsOf(cfg), Seed)

@@ -24,7 +24,7 @@ func fig1Sweep(quick bool) (map[string][]metrics.Run, []machine.Config, error) {
 	for _, cfg := range configs {
 		cells = append(cells, pairCells(cfg, fig1Spec(quick))...)
 	}
-	results, err := runCells(cells)
+	results, err := runCells(quick, cells)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -9,7 +9,7 @@ import (
 // classTable runs a set of workloads under PDF and WS on the given core
 // counts and tabulates relative speedup and off-chip traffic reduction —
 // the two numbers the paper's Finding 1 quotes (1.3-1.6x, 13-41%).
-func classTable(id, title, note string, specs []workloads.Spec, coreCounts []int) (*Result, error) {
+func classTable(quick bool, id, title, note string, specs []workloads.Spec, coreCounts []int) (*Result, error) {
 	t := report.New(title,
 		"workload", "cores", "pdf cycles", "ws cycles", "pdf/ws speedup", "traffic reduction %")
 	t.Note = note
@@ -20,7 +20,7 @@ func classTable(id, title, note string, specs []workloads.Spec, coreCounts []int
 			cells = append(cells, pairCells(machine.Default(cores), spec)...)
 		}
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +45,7 @@ func runT1DC(quick bool) (*Result, error) {
 	if quick {
 		cores = []int{8}
 	}
-	return classTable("t1-dc",
+	return classTable(quick, "t1-dc",
 		"Finding 1a: parallel divide-and-conquer programs, PDF vs WS",
 		"paper: relative speedup 1.3-1.6x, off-chip traffic reduced 13-41%",
 		specs, cores)
@@ -66,7 +66,7 @@ func runT1Irregular(quick bool) (*Result, error) {
 	if quick {
 		cores = []int{8}
 	}
-	return classTable("t1-irregular",
+	return classTable(quick, "t1-irregular",
 		"Finding 1b: bandwidth-limited irregular programs, PDF vs WS",
 		"paper: same bands as 1a — PDF wins via constructive sharing",
 		specs, cores)
@@ -85,7 +85,7 @@ func runT2Neutral(quick bool) (*Result, error) {
 	if quick {
 		cores = []int{8}
 	}
-	return classTable("t2-neutral",
+	return classTable(quick, "t2-neutral",
 		"Finding 2: application classes where PDF and WS perform alike",
 		"paper: roughly equal execution times (limited reuse, or not bandwidth-bound)",
 		specs, cores)
@@ -129,7 +129,7 @@ func runT5Coarse(quick bool) (*Result, error) {
 	for _, v := range variants {
 		cells = append(cells, pairCells(cfg, v.spec)...)
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}

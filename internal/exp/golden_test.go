@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rcache"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden tables under testdata/")
+
+// TestGoldenTables compares every quick-mode experiment table against the
+// checked-in expectation under testdata/, so numeric drift — a changed
+// latency constant, an altered scheduler tie-break, a float formatting
+// change — fails CI rather than slipping into EXPERIMENTS.md unnoticed.
+// After an intentional change, regenerate with
+//
+//	go test ./internal/exp -run TestGoldenTables -update
+//
+// and review the diff like any other code change. The suite runs with an
+// in-memory result cache: cells shared between experiments (e.g. the two
+// fig1 panels) simulate once, and TestCachedMatchesUncached separately
+// guarantees cached output equals uncached output.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+	Cache = rcache.NewMemory()
+
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			got := []byte(renderAll(t, id))
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o777); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o666); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/exp -run TestGoldenTables -update` to create it)", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s drifted from its golden table.\n--- want (%s) ---\n%s\n--- got ---\n%s\n"+
+					"If the change is intentional, regenerate with -update and review the diff.",
+					id, path, want, got)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -21,9 +22,12 @@ import (
 // right after resuming. Lower occupancy, higher survival, and a smaller
 // resume spike are all direct consequences of PDF's smaller working set.
 //
-// This experiment does not decompose into runner cells: the interleaved
-// RunFor steps of engines A and B share one Hierarchy, so each scheduler
-// arm is a single stateful sequence, and the suite keeps it serial.
+// This experiment does not decompose into runner cells: within one arm the
+// interleaved RunFor steps of engines A and B share one Hierarchy, so each
+// scheduler arm is a single stateful sequence. The two arms, however, are
+// fully independent — each owns its own Hierarchy pair and engines — so they
+// fan out as two coarse jobs on the shared worker budget, with rows emitted
+// in canonical (pdf, ws) order regardless of which arm finishes first.
 func runT4Multiprog(quick bool) (*Result, error) {
 	cores := 8
 	quantum := int64(2_000_000)
@@ -36,13 +40,25 @@ func runT4Multiprog(quick bool) (*Result, error) {
 	t.Note = "paper: PDF hogs less cache and retains its working set across context switches"
 	res := &Result{ID: "t4-multiprog", Tables: []*report.Table{t}}
 
-	for _, sched := range []string{"pdf", "ws"} {
-		row, runs, err := multiprogOnce(sched, cores, quantum, quick)
-		if err != nil {
-			return nil, err
+	type arm struct {
+		row  []string
+		runs []metrics.Run
+	}
+	scheds := []string{"pdf", "ws"}
+	jobs := make([]runner.Job[arm], len(scheds))
+	for i, sched := range scheds {
+		jobs[i] = func() (arm, error) {
+			row, runs, err := multiprogOnce(sched, cores, quantum, quick)
+			return arm{row, runs}, err
 		}
-		t.Rows = append(t.Rows, row)
-		res.Runs = append(res.Runs, runs...)
+	}
+	arms, err := runner.Map(Parallelism, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range arms {
+		t.Rows = append(t.Rows, a.row)
+		res.Runs = append(res.Runs, a.runs...)
 	}
 	return res, nil
 }

@@ -3,6 +3,8 @@ package exp
 import (
 	"runtime"
 	"testing"
+
+	"repro/internal/rcache"
 )
 
 // renderAll flattens every table of a result (aligned and CSV forms) so the
@@ -26,14 +28,17 @@ func renderAll(t *testing.T, id string) string {
 // TestParallelMatchesSerial asserts the tentpole guarantee: running the
 // experiment suite through the runner at any parallelism yields output
 // byte-identical to the serial path. fig1-misses exercises the paired
-// pdf/ws sweep shape, a4-stealpolicy the one-run-per-row shape.
+// pdf/ws sweep shape, a4-stealpolicy the one-run-per-row shape, and
+// t4-multiprog the bespoke two-arm fan-out (each arm owns a stateful
+// engine pair, so any shared mutable state between arms would show up
+// here as serial/parallel divergence).
 func TestParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
 	defer func(old int) { Parallelism = old }(Parallelism)
 
-	for _, id := range []string{"fig1-misses", "a4-stealpolicy"} {
+	for _, id := range []string{"fig1-misses", "a4-stealpolicy", "t4-multiprog"} {
 		Parallelism = 1
 		serial := renderAll(t, id)
 		for _, p := range []int{2, runtime.GOMAXPROCS(0), 8} {
@@ -43,5 +48,66 @@ func TestParallelMatchesSerial(t *testing.T) {
 					id, p, serial, got)
 			}
 		}
+	}
+}
+
+// TestCachedMatchesUncached asserts the cache's core guarantee: experiment
+// output is byte-identical with the cache off, cold, and warm, at every
+// parallelism level — a cached Run is exactly the record a fresh simulation
+// would produce. It also pins the warm-sweep accounting the CI smoke job
+// relies on: a repeat visit of the same cells must be all hits, whether they
+// come from the in-process map or from a reopened disk store.
+func TestCachedMatchesUncached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old int) { Parallelism = old }(Parallelism)
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+
+	const id = "fig1-misses"
+	Cache = nil
+	Parallelism = 1
+	uncached := renderAll(t, id)
+
+	// Cold memory store, serial: first visit simulates every cell.
+	Cache = rcache.NewMemory()
+	if got := renderAll(t, id); got != uncached {
+		t.Errorf("%s: cold cached output differs from uncached:\n--- uncached ---\n%s\n--- cached ---\n%s", id, uncached, got)
+	}
+	if st := Cache.Stats(); st.Hits() != 0 || st.Misses == 0 {
+		t.Errorf("cold pass stats %+v: expected only misses", st)
+	}
+
+	// Warm, parallel: same store, every cell must hit, bytes must not move.
+	misses := Cache.Stats().Misses
+	Parallelism = 8
+	if got := renderAll(t, id); got != uncached {
+		t.Errorf("%s: warm cached output differs from uncached", id)
+	}
+	if st := Cache.Stats(); st.Misses != misses {
+		t.Errorf("warm pass re-simulated cells: stats %+v", st)
+	}
+
+	// Disk round trip: populate one store, reopen the directory in a fresh
+	// store (empty memory tier), and replay — all disk hits, same bytes.
+	dir := t.TempDir()
+	s1, err := rcache.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Cache = s1
+	if got := renderAll(t, id); got != uncached {
+		t.Errorf("%s: disk-cold output differs from uncached", id)
+	}
+	s2, err := rcache.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Cache = s2
+	if got := renderAll(t, id); got != uncached {
+		t.Errorf("%s: disk-warm output differs from uncached", id)
+	}
+	if st := s2.Stats(); st.Misses != 0 || st.DiskHits == 0 {
+		t.Errorf("disk-warm stats %+v: want pure disk hits", st)
 	}
 }

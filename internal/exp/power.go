@@ -31,7 +31,7 @@ func runT3Power(quick bool) (*Result, error) {
 		cfg.L2MaskedWays = masked
 		cells = append(cells, pairCells(cfg, spec)...)
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -39,7 +39,7 @@ func runA5Premature(quick bool) (*Result, error) {
 	for _, cores := range coreCounts {
 		cells = append(cells, pairCells(machine.Default(cores), spec)...)
 	}
-	runs, err := runCells(cells)
+	runs, err := runCells(quick, cells)
 	if err != nil {
 		return nil, fmt.Errorf("a5-premature: %w", err)
 	}

@@ -1,0 +1,37 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestFingerprintCoversEveryField guards the result cache's key: if a field
+// is added to Config but not to Fingerprint, two configs that simulate
+// differently would hash to the same cache entry. Perturbing every field by
+// reflection catches that omission the moment the field lands.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base := Default(8)
+	ref := base.Fingerprint()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		mod := base
+		testutil.PerturbField(t, reflect.ValueOf(&mod).Elem().Field(i))
+		if mod.Fingerprint() == ref {
+			t.Errorf("Config.Fingerprint ignores field %s — cache entries would alias", typ.Field(i).Name)
+		}
+	}
+}
+
+// TestFingerprintStable pins the property the disk cache relies on: equal
+// configs produce byte-equal fingerprints across calls.
+func TestFingerprintStable(t *testing.T) {
+	a, b := Default(16), Default(16)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal configs, unequal fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if Default(8).Fingerprint() == Default(16).Fingerprint() {
+		t.Fatal("distinct configs share a fingerprint")
+	}
+}

@@ -20,6 +20,7 @@ package machine
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cache"
 )
@@ -127,6 +128,25 @@ func (c Config) CacheParams() cache.Params {
 func (c Config) String() string {
 	return fmt.Sprintf("%s: %d cores @ %s, L1 %dKiB/%d-way, L2 %dKiB/%d-way, %.1f B/cyc offchip",
 		c.Name, c.Cores, c.Tech, c.L1Size>>10, c.L1Ways, c.L2Size>>10, c.L2Ways, c.BusBPC)
+}
+
+// Fingerprint returns a canonical, self-describing encoding of every field —
+// the machine half of a simulation cell's identity, consumed by the result
+// cache (internal/rcache). Two configs with equal fingerprints simulate
+// identically. Every field must appear here: TestFingerprintCoversEveryField
+// perturbs each struct field by reflection and fails if the fingerprint does
+// not change, so adding a Config field without extending this method breaks
+// the build's tests rather than silently aliasing cache entries.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("machine.Config{Name=%q Cores=%d Tech=%q LineSize=%d "+
+		"L1Size=%d L1Ways=%d L2Size=%d L2Ways=%d L1Lat=%d L2Lat=%d MemLat=%d "+
+		"BusBPC=%s L2MaskedWays=%d PDFDispatch=%d WSPopLocal=%d WSStealProbe=%d "+
+		"WSStealXfer=%d IdleRetry=%d SpawnOverhead=%d}",
+		c.Name, c.Cores, c.Tech, c.LineSize,
+		c.L1Size, c.L1Ways, c.L2Size, c.L2Ways, c.L1Lat, c.L2Lat, c.MemLat,
+		strconv.FormatFloat(c.BusBPC, 'g', -1, 64), c.L2MaskedWays,
+		c.PDFDispatch, c.WSPopLocal, c.WSStealProbe,
+		c.WSStealXfer, c.IdleRetry, c.SpawnOverhead)
 }
 
 // floorPow2 rounds down to a power of two.

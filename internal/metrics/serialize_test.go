@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestRunJSONRoundTrip guards the result cache's disk tier: a Run must
+// survive JSON encode/decode bit-exactly (Go's float encoding is shortest-
+// round-trip, so BusUtilization comes back identical), and every field must
+// participate — the reflection loop sets each field to a distinct non-zero
+// value so a future `json:"-"` tag or unexported field fails here instead of
+// silently zeroing cached results.
+func TestRunJSONRoundTrip(t *testing.T) {
+	var r Run
+	v := reflect.ValueOf(&r).Elem()
+	typ := v.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(typ.Field(i).Name)
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(1000 + i))
+		case reflect.Float64:
+			f.SetFloat(0.1 + float64(i)/7) // not exactly representable: exercises round-trip
+		default:
+			t.Fatalf("unhandled field kind %v for %s — extend this test", f.Kind(), typ.Field(i).Name)
+		}
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Run
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip altered the record:\nwant %+v\ngot  %+v", r, got)
+	}
+}

@@ -1,0 +1,379 @@
+// Package rcache is a content-addressed result cache for simulation cells.
+//
+// Every cell the experiment suite runs is a deterministic function of its
+// identity — (machine.Config, workloads.Spec, scheduler, seed, quick) — so
+// its metrics.Run can be memoized under a collision-resistant fingerprint of
+// that identity and replayed instead of re-simulated. The suite re-visits
+// identical cells constantly (the two fig1 panels share all of their cells;
+// `sweep -exp all` repeats (config, workload) points across experiments), so
+// memoization makes repeat sweeps near-free while output stays byte-identical
+// to an uncached run: a cached Run is the same record the simulator produced,
+// round-tripped losslessly.
+//
+// The store is two-tier with a singleflight layer in front:
+//
+//   - memory: a map keyed by fingerprint, deduplicating within one process
+//     (intra-sweep reuse, e.g. fig1-misses then fig1-speedup).
+//   - disk: one JSON record per key under DIR/v<schema>-<shape>/ (shape is
+//     a hash of metrics.Run's field list), written to a temp file and
+//     atomically renamed, so readers never observe a torn entry and
+//     concurrent writers of the same key are harmless (last rename wins,
+//     both wrote identical bytes). Mismatched or truncated records are
+//     treated as misses, counted, and best-effort deleted.
+//   - singleflight: concurrent Do calls with the same key run the compute
+//     function once; latecomers block on the first caller's result. Under
+//     `sweep -exp all` the fig1-misses and fig1-speedup experiments race to
+//     the same 14 cells — one simulates, the other waits.
+//
+// Keys are salted with SchemaVersion. Bump it whenever the meaning of a
+// record changes (simulator semantics, metrics fields, fingerprint format):
+// old entries then live under a dead v<k> directory that can never alias a
+// current key, and GC prunes them.
+package rcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// SchemaVersion salts every key and names the on-disk directory. Bump on any
+// change to simulator semantics, the meaning of a metrics.Run field, the
+// fingerprint encodings, or the record format; stale entries then become
+// unreachable rather than wrong, and `sweep -cache-gc` reclaims them.
+// (Adding/removing/retyping Run fields needs no manual bump: the field
+// shape is folded into every key — see runShape.)
+const SchemaVersion = 1
+
+// Key is the content address of one simulation cell.
+type Key [sha256.Size]byte
+
+// String returns the lowercase hex form used as the on-disk file name.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// runShape enumerates metrics.Run's field names and types by reflection.
+// Folding it into every key — and, hashed, into the version directory name —
+// makes the record schema self-versioning: if a field is added to Run
+// without the documented manual SchemaVersion bump, every key and the
+// directory still change, so old records — which would otherwise decode
+// cleanly with the new field silently zeroed — can never be served, and GC
+// reclaims them as a dead version.
+var runShape = func() string {
+	t := reflect.TypeOf(metrics.Run{})
+	parts := make([]string, t.NumField())
+	for i := range parts {
+		f := t.Field(i)
+		parts[i] = f.Name + " " + f.Type.String()
+	}
+	return strings.Join(parts, ";")
+}()
+
+// liveVersionDir names the schema directory for this build:
+// v<SchemaVersion>-<8 hex chars of sha256(runShape)>.
+var liveVersionDir = func() string {
+	sum := sha256.Sum256([]byte(runShape))
+	return fmt.Sprintf("v%d-%s", SchemaVersion, hex.EncodeToString(sum[:4]))
+}()
+
+// LiveVersion returns the schema directory name this build reads and
+// writes — what GC keeps.
+func LiveVersion() string { return liveVersionDir }
+
+// KeyOf fingerprints a cell identity. The canonical encodings enumerate
+// every field of Config and Spec (enforced by tests in those packages), so
+// any parameter change — core count, cache geometry, scheduler overheads,
+// workload size, data seed — produces a different key.
+func KeyOf(cfg machine.Config, spec workloads.Spec, sched string, seed uint64, quick bool) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "rcache/v%d run{%s}\n", SchemaVersion, runShape)
+	fmt.Fprintf(h, "cfg=%s\n", cfg.Fingerprint())
+	fmt.Fprintf(h, "spec=%s\n", spec.Fingerprint())
+	fmt.Fprintf(h, "sched=%s\nseed=%d\nquick=%t\n", sched, seed, quick)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Stats is a snapshot of a store's counters.
+type Stats struct {
+	MemHits  int64 // served from the in-process map
+	DiskHits int64 // served from the persistent layer
+	Misses   int64 // computed by the caller's function
+	Dedup    int64 // blocked on an identical in-flight computation
+	Stores   int64 // records written to disk
+	Corrupt  int64 // unreadable or mismatched disk records discarded
+}
+
+// Lookups returns the total number of Do calls observed.
+func (s Stats) Lookups() int64 { return s.MemHits + s.DiskHits + s.Misses + s.Dedup }
+
+// Hits returns the lookups that avoided a fresh simulation.
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits + s.Dedup }
+
+// String renders the one-line summary cmd/sweep prints to stderr. The
+// hit-rate field is what the CI warm-cache smoke job asserts on.
+func (s Stats) String() string {
+	rate := 0.0
+	if n := s.Lookups(); n > 0 {
+		rate = 100 * float64(s.Hits()) / float64(n)
+	}
+	return fmt.Sprintf("rcache: lookups=%d hits=%d (mem=%d disk=%d) misses=%d inflight-dedup=%d stores=%d corrupt=%d hit-rate=%.1f%%",
+		s.Lookups(), s.Hits(), s.MemHits, s.DiskHits, s.Misses, s.Dedup, s.Stores, s.Corrupt, rate)
+}
+
+// Store is a two-tier (memory + optional disk) memoization table with
+// singleflight deduplication. The zero value is not usable; construct with
+// NewMemory or Open. All methods are safe for concurrent use.
+type Store struct {
+	dir      string // version directory; "" = memory-only
+	readonly bool   // consult disk but never write it
+
+	mu       sync.Mutex
+	mem      map[Key]metrics.Run
+	inflight map[Key]*flight
+
+	memHits, diskHits, misses, dedup, stores, corrupt atomic.Int64
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	run  metrics.Run
+	err  error
+}
+
+// NewMemory returns a store with no persistent layer: intra-process
+// deduplication and singleflight only.
+func NewMemory() *Store {
+	return &Store{mem: map[Key]metrics.Run{}, inflight: map[Key]*flight{}}
+}
+
+// Open returns a store backed by dir, creating the current schema-version
+// subdirectory. readonly stores consult existing entries but never touch
+// the directory — not even to create it — so they work against a shared
+// cache mounted read-only (the CI use case).
+func Open(dir string, readonly bool) (*Store, error) {
+	s := NewMemory()
+	s.dir = filepath.Join(dir, liveVersionDir)
+	s.readonly = readonly
+	if !readonly {
+		if err := os.MkdirAll(s.dir, 0o777); err != nil {
+			return nil, fmt.Errorf("rcache: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:  s.memHits.Load(),
+		DiskHits: s.diskHits.Load(),
+		Misses:   s.misses.Load(),
+		Dedup:    s.dedup.Load(),
+		Stores:   s.stores.Load(),
+		Corrupt:  s.corrupt.Load(),
+	}
+}
+
+// Do returns the cached Run for key, or runs compute once — however many
+// goroutines ask concurrently — and caches its result. Errors are returned
+// to every waiter of that flight and are not cached, so a failed cell is
+// recomputed on the next request.
+func (s *Store) Do(key Key, compute func() (metrics.Run, error)) (metrics.Run, error) {
+	s.mu.Lock()
+	if r, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return r, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.dedup.Add(1)
+		<-f.done
+		return f.run, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.run, f.err = s.fill(key, compute)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		s.mem[key] = f.run
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.run, f.err
+}
+
+// fill resolves a memory miss: disk first, then the compute function.
+func (s *Store) fill(key Key, compute func() (metrics.Run, error)) (metrics.Run, error) {
+	if s.dir != "" {
+		if r, ok := s.diskGet(key); ok {
+			s.diskHits.Add(1)
+			return r, nil
+		}
+	}
+	s.misses.Add(1)
+	r, err := compute()
+	if err != nil {
+		return r, err
+	}
+	if s.dir != "" && !s.readonly {
+		if s.diskPut(key, r) {
+			s.stores.Add(1)
+		}
+	}
+	return r, nil
+}
+
+// record is the on-disk entry. Schema and Key are stored redundantly (both
+// already determine the file's path) so a record that was tampered with,
+// cross-copied, or half-written is detected and discarded instead of served.
+type record struct {
+	Schema int         `json:"schema"`
+	Key    string      `json:"key"`
+	Run    metrics.Run `json:"run"`
+}
+
+func (s *Store) path(key Key) string { return filepath.Join(s.dir, key.String()+".json") }
+
+// diskGet loads a record, tolerating corruption: a decode or identity
+// failure on successfully read bytes counts as a miss and deletes the bad
+// entry (when writable) so it is not re-parsed on every lookup. Read errors
+// other than not-exist — EMFILE under a wide fan-out, transient EACCES on a
+// shared mount — are just misses: the entry may be perfectly valid, so it
+// is never deleted on the strength of a failed read.
+func (s *Store) diskGet(key Key) (metrics.Run, bool) {
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return metrics.Run{}, false
+	}
+	var rec record
+	if err := json.Unmarshal(b, &rec); err != nil || rec.Schema != SchemaVersion || rec.Key != key.String() {
+		s.discard(key)
+		return metrics.Run{}, false
+	}
+	return rec.Run, true
+}
+
+// discard counts and best-effort removes a corrupt entry.
+func (s *Store) discard(key Key) {
+	s.corrupt.Add(1)
+	if !s.readonly {
+		os.Remove(s.path(key))
+	}
+}
+
+// diskPut writes the record to a temp file in the same directory and renames
+// it into place. Failures are swallowed: the cache degrades to a miss on the
+// next run rather than failing the sweep.
+func (s *Store) diskPut(key Key, r metrics.Run) bool {
+	b, err := json.Marshal(record{Schema: SchemaVersion, Key: key.String(), Run: r})
+	if err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return false
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	// CreateTemp makes the file 0600; loosen to world-readable (but only
+	// owner-writable — records must not be tamperable by other users) so a
+	// cache populated by one user serves another, the shared-store use
+	// case -cache-readonly exists for.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
+// isSchemaDirName reports whether name matches the exact shape of a schema
+// directory this package creates: v<digits>-<8 hex chars>. GC must only
+// ever delete directories this package made — users may point -cache at a
+// directory holding unrelated data (a `v8/` or `v2.1/` of someone else's),
+// and everything that does not match the full pattern is left alone.
+func isSchemaDirName(name string) bool {
+	if len(name) < 2 || name[0] != 'v' {
+		return false
+	}
+	i := 1
+	for i < len(name) && name[i] >= '0' && name[i] <= '9' {
+		i++
+	}
+	if i == 1 || i+9 != len(name) || name[i] != '-' {
+		return false
+	}
+	for _, c := range name[i+1:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// GC prunes entries under dead schema versions: every schema subdirectory of
+// dir other than the live one — older SchemaVersions, and directories whose
+// metrics.Run shape hash no longer matches, whose keys can never be looked
+// up again — is removed, along with stray temp files left by interrupted
+// writes in the live version. It returns the number of directories removed
+// and the number of entries they held.
+func GC(dir string) (versions, entries int, err error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("rcache: gc: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if !de.IsDir() || !isSchemaDirName(name) {
+			continue
+		}
+		if name == liveVersionDir {
+			// Live version: sweep only abandoned temp files.
+			live, _ := os.ReadDir(filepath.Join(dir, name))
+			for _, f := range live {
+				if strings.HasPrefix(f.Name(), "tmp-") {
+					os.Remove(filepath.Join(dir, name, f.Name()))
+				}
+			}
+			continue
+		}
+		dead, _ := os.ReadDir(filepath.Join(dir, name))
+		entries += len(dead)
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return versions, entries, fmt.Errorf("rcache: gc %s: %w", name, err)
+		}
+		versions++
+	}
+	return versions, entries, nil
+}

@@ -9,6 +9,20 @@
 // submitted, never the order they finished, so every consumer (cmd/sweep,
 // the exp tests, the benchmark harness) emits byte-identical output at any
 // parallelism level.
+//
+// # Worker budget
+//
+// All Stream/Map calls in the process share one worker budget (default
+// GOMAXPROCS; cmd/sweep sets it to -parallel via SetBudget). Each call
+// claims workers from the budget non-blockingly: a call that finds the
+// budget exhausted — typically a per-experiment cell fan-out nested inside
+// cmd/sweep's experiment-level fan-out — degrades to serial execution on its
+// caller's goroutine instead of spawning more workers, re-polling the budget
+// between jobs so it promotes back to workers once siblings release tokens.
+// Nested fan-outs therefore compose without oversubscription (no N²
+// goroutines at -parallel N) and without deadlock: budget tokens are only
+// ever try-acquired, never waited on, and every Stream either holds at
+// least one worker or runs inline, so progress is always local.
 package runner
 
 import (
@@ -22,11 +36,55 @@ import (
 // cell.
 type Job[T any] func() (T, error)
 
-// Stream executes jobs on up to parallel goroutines and calls yield exactly
-// once per job, in submit order, as soon as the job and all of its
-// predecessors have completed. parallel <= 0 means GOMAXPROCS; parallel == 1
-// runs every job inline on the caller's goroutine (the serial fallback —
-// no goroutines, no channels).
+// budget is the process-wide cap on concurrently executing workers, shared
+// by every Stream/Map call. Tokens are try-acquired (never blocked on), so
+// nested fan-outs cannot deadlock; they serialize instead.
+var budget = func() *semaphore {
+	s := &semaphore{}
+	s.cap.Store(int64(runtime.GOMAXPROCS(0)))
+	return s
+}()
+
+type semaphore struct {
+	cap   atomic.Int64
+	inuse atomic.Int64
+}
+
+func (s *semaphore) tryAcquire() bool {
+	for {
+		u := s.inuse.Load()
+		if u >= s.cap.Load() {
+			return false
+		}
+		if s.inuse.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+func (s *semaphore) release() { s.inuse.Add(-1) }
+
+// SetBudget caps the process-wide number of concurrently executing workers
+// at n (floored at 1) and returns the previous cap, so callers can restore
+// it. cmd/sweep sets this to -parallel: the experiment-level fan-out and
+// every per-experiment cell fan-out then share the same N workers instead of
+// multiplying into ~N² goroutines. A Stream that finds the budget exhausted
+// runs its jobs serially on the calling goroutine, so shrinking the budget
+// never strands work.
+func SetBudget(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(budget.cap.Swap(int64(n)))
+}
+
+// Stream executes jobs on workers drawn from the shared budget (at most
+// parallel of them) and calls yield exactly once per job, in submit order,
+// as soon as the job and all of its predecessors have completed.
+// parallel <= 0 means GOMAXPROCS; parallel == 1 runs every job inline on
+// the caller's goroutine (the serial path: no goroutines, no channels). A
+// fully claimed budget also starts inline, but re-polls between jobs and
+// promotes the remainder to workers as tokens free up.
 //
 // yield receives the job's index, value, and error. If yield returns a
 // non-nil error, no further jobs are started and no further yields happen;
@@ -44,6 +102,7 @@ func Stream[T any](parallel int, jobs []Job[T], yield func(i int, v T, err error
 		parallel = n
 	}
 	if parallel == 1 {
+		// Explicitly serial: no goroutines, no channels, no budget polls.
 		for i, job := range jobs {
 			v, err := job()
 			if yerr := yield(i, v, err); yerr != nil {
@@ -52,6 +111,52 @@ func Stream[T any](parallel int, jobs []Job[T], yield func(i int, v T, err error
 		}
 		return nil
 	}
+	workers := 0
+	for w := 0; w < parallel && budget.tryAcquire(); w++ {
+		workers++
+	}
+	if workers > 0 {
+		return streamWorkers(workers, parallel, jobs, yield)
+	}
+	// Every budget token is held elsewhere (we are nested inside another
+	// fan-out that claimed them). Run inline, but re-poll the budget before
+	// each job: when sibling fan-outs wind down and release tokens, the
+	// remainder of this stream promotes to real workers instead of
+	// finishing serially on idle hardware. The freshly acquired token is
+	// kept and handed to the worker pool, so the promotion cannot be lost
+	// to another stream in between.
+	for i := 0; i < n; i++ {
+		if budget.tryAcquire() {
+			rest, base := jobs[i:], i
+			w, limit := 1, parallel
+			if limit > len(rest) {
+				limit = len(rest)
+			}
+			for w < limit && budget.tryAcquire() {
+				w++
+			}
+			return streamWorkers(w, limit, rest, func(j int, v T, err error) error {
+				return yield(base+j, v, err)
+			})
+		}
+		v, err := jobs[i]()
+		if yerr := yield(i, v, err); yerr != nil {
+			return yerr
+		}
+	}
+	return nil
+}
+
+// streamWorkers is Stream's fan-out engine: it runs jobs on worker
+// goroutines — the caller must already hold `workers` budget tokens, which
+// the workers release as they exit — and yields results in submit order.
+// A stream that started with fewer than limit workers tops itself up:
+// before each job claim a worker re-polls the budget and spawns a
+// reinforcement when a token has freed (a sibling fan-out winding down), so
+// a long cell grid that began on a starved budget does not stay starved
+// after the rest of the sweep finishes.
+func streamWorkers[T any](workers, limit int, jobs []Job[T], yield func(i int, v T, err error) error) error {
+	n := len(jobs)
 
 	type result struct {
 		v   T
@@ -67,26 +172,44 @@ func Stream[T any](parallel int, jobs []Job[T], yield func(i int, v T, err error
 	var (
 		next      atomic.Int64 // next job index to claim
 		cancelled atomic.Bool  // set once yield fails; stops new work
+		active    atomic.Int64 // live workers, capped at limit
 		wg        sync.WaitGroup
 	)
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	active.Store(int64(workers))
+	var worker func()
+	worker = func() {
+		defer wg.Done()
+		defer budget.release()
+		defer active.Add(-1)
+		for {
+			// Top up: if under the cap with jobs still unclaimed and a
+			// budget token free, enlist another worker. The count is
+			// reserved before the token so two racers cannot both pass the
+			// cap; either reservation that fails is rolled back.
+			if !cancelled.Load() && int(next.Load()) < n-1 {
+				if a := active.Add(1); int(a) <= limit && budget.tryAcquire() {
+					wg.Add(1)
+					go worker()
+				} else {
+					active.Add(-1)
 				}
-				if cancelled.Load() {
-					// Still fill the slot so the drain below never blocks.
-					slots[i] <- result{}
-					continue
-				}
-				v, err := jobs[i]()
-				slots[i] <- result{v, err}
 			}
-		}()
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if cancelled.Load() {
+				// Still fill the slot so the drain below never blocks.
+				slots[i] <- result{}
+				continue
+			}
+			v, err := jobs[i]()
+			slots[i] <- result{v, err}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
 	}
 
 	var yerr error
@@ -103,8 +226,8 @@ func Stream[T any](parallel int, jobs []Job[T], yield func(i int, v T, err error
 	return yerr
 }
 
-// Map executes jobs on up to parallel goroutines and returns their results
-// in submit order. The first job error (by submit order, which is
+// Map executes jobs on up to parallel budget workers and returns their
+// results in submit order. The first job error (by submit order, which is
 // deterministic regardless of completion order) aborts the pool: unstarted
 // jobs are skipped, in-flight jobs drain, and Map returns that error with a
 // nil slice.

@@ -1,0 +1,33 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestSpecFingerprintCoversEveryField mirrors the machine.Config guard: a
+// Spec field missing from Fingerprint would let two different workloads
+// alias one result-cache entry. Perturbing every field by reflection fails
+// the build the moment such a field is added.
+func TestSpecFingerprintCoversEveryField(t *testing.T) {
+	base := Spec{Name: "mergesort", N: 1 << 14, Grain: 1024, Iters: 2, Seed: 7, SpaceID: 1}
+	ref := base.Fingerprint()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		mod := base
+		testutil.PerturbField(t, reflect.ValueOf(&mod).Elem().Field(i))
+		if mod.Fingerprint() == ref {
+			t.Errorf("Spec.Fingerprint ignores field %s — cache entries would alias", typ.Field(i).Name)
+		}
+	}
+}
+
+func TestSpecFingerprintStable(t *testing.T) {
+	a := Spec{Name: "fft", N: 4096, Grain: 256, Seed: 3}
+	b := Spec{Name: "fft", N: 4096, Grain: 256, Seed: 3}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal specs, unequal fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+}

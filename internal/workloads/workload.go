@@ -38,6 +38,18 @@ func (s Spec) String() string {
 	return fmt.Sprintf("%s(n=%d,grain=%d,iters=%d,seed=%d)", s.Name, s.N, s.Grain, s.Iters, s.Seed)
 }
 
+// Fingerprint returns a canonical, self-describing encoding of every field —
+// the workload half of a simulation cell's identity, consumed by the result
+// cache (internal/rcache). Equal fingerprints build identical instances
+// (Build derives all randomness from Seed). Every field must appear here:
+// TestSpecFingerprintCoversEveryField perturbs each struct field by
+// reflection and fails if the fingerprint does not change, so adding a Spec
+// field without extending this method cannot silently alias cache entries.
+func (s Spec) Fingerprint() string {
+	return fmt.Sprintf("workloads.Spec{Name=%q N=%d Grain=%d Iters=%d Seed=%d SpaceID=%d}",
+		s.Name, s.N, s.Grain, s.Iters, s.Seed, s.SpaceID)
+}
+
 // Instance is a ready-to-simulate workload: a frozen DAG over allocated
 // simulated arrays, plus a functional-correctness check to run afterwards.
 type Instance struct {

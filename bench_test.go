@@ -175,6 +175,48 @@ func BenchmarkFig1MissesWarmCache(b *testing.B) {
 	}
 }
 
+// --- Instance pool: cold-sweep build phase -----------------------------------
+
+// The PoolOn/PoolOff pair measures the workload instance pool on a cold
+// sweep: every experiment id, quick mode, serial, with a fresh (empty)
+// rcache per iteration so every cell simulates. The pool's effect is on the
+// build phase — the N scheduler arms of a (config, spec) point, and repeats
+// of a spec across experiments, share one Build — so besides wall time the
+// pair reports builds/op and build-ms/op from the workloads build counters.
+// Expectation (the PR's acceptance bar): build count and build time drop
+// well over 2x with the pool on; see BENCH_pr3.json for recorded numbers.
+
+func benchColdSweep(b *testing.B, pooled bool) {
+	defer func(oldC *rcache.Store, oldP int, oldPool *workloads.Pool) {
+		exp.Cache, exp.Parallelism, exp.InstancePool = oldC, oldP, oldPool
+	}(exp.Cache, exp.Parallelism, exp.InstancePool)
+	exp.Parallelism = 1
+	var builds, buildNanos int64
+	for i := 0; i < b.N; i++ {
+		exp.Cache = rcache.NewMemory()
+		exp.InstancePool = nil
+		if pooled {
+			exp.InstancePool = workloads.NewPool(workloads.DefaultPoolBudget)
+		}
+		b0, n0 := workloads.BuildCount()
+		for _, id := range exp.IDs() {
+			res, err := exp.Run(id, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = res
+		}
+		b1, n1 := workloads.BuildCount()
+		builds += b1 - b0
+		buildNanos += n1 - n0
+	}
+	b.ReportMetric(float64(builds)/float64(b.N), "builds/op")
+	b.ReportMetric(float64(buildNanos)/1e6/float64(b.N), "build-ms/op")
+}
+
+func BenchmarkColdSweepQuickPoolOn(b *testing.B)  { benchColdSweep(b, true) }
+func BenchmarkColdSweepQuickPoolOff(b *testing.B) { benchColdSweep(b, false) }
+
 // --- Simulator throughput ----------------------------------------------------
 
 // BenchmarkEngineThroughput measures simulated instructions per wall-clock

@@ -5,6 +5,16 @@
 // Usage:
 //
 //	cmpsim -workload mergesort -cores 16 -sched pdf [-n 524288] [-grain 2048]
+//	cmpsim -workload spmv -cache ~/.repro-cache     # reuse sweep's results
+//
+// cmpsim shares the result cache — and its flag wiring (-cache,
+// -cache-stats, -cache-readonly) — with cmd/sweep: a cell cmpsim runs is
+// the same content-addressed cell a full-size sweep runs, so either tool
+// can serve the other's warm entries. (Quick-mode sweep entries are a
+// separate cache identity — quick is part of the cell key — so cmpsim,
+// which always keys full-size, never aliases them.) -attr and -timeline
+// need a live engine (their outputs are not part of the cached record), so
+// those runs bypass the cache.
 package main
 
 import (
@@ -17,13 +27,15 @@ import (
 	"repro/internal/dag"
 	"repro/internal/exp"
 	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/rcache"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "mergesort", "one of: mergesort, mergesort-coarse, quicksort, matmul, spmv, scan, fft, lu, histogram")
+		workload = flag.String("workload", "mergesort", "one of: mergesort, mergesort-coarse, quicksort, matmul, spmv, scan, fft, lu, histogram, hashjoin")
 		n        = flag.Int("n", 1<<19, "problem size (elements or matrix dimension)")
 		grain    = flag.Int("grain", 2048, "task granularity in elements")
 		iters    = flag.Int("iters", 0, "iterations for iterative workloads (0 = default)")
@@ -31,10 +43,16 @@ func main() {
 		sched    = flag.String("sched", "pdf", "scheduler: pdf, ws, ws-stealnewest, fifo")
 		seed     = flag.Uint64("seed", exp.Seed, "seed for workload data and WS victim-selection RNG")
 		shape    = flag.Bool("shape", false, "print DAG shape statistics and exit")
-		attr     = flag.Bool("attr", false, "attribute off-chip traffic to the workload's arrays")
-		timeline = flag.Bool("timeline", false, "dump the schedule as CSV (node,label,core,start,end) to stdout")
+		attr     = flag.Bool("attr", false, "attribute off-chip traffic to the workload's arrays (bypasses -cache)")
+		timeline = flag.Bool("timeline", false, "dump the schedule as CSV (node,label,core,start,end) to stdout (bypasses -cache)")
 	)
+	cli := rcache.RegisterCLI(flag.CommandLine, false)
 	flag.Parse()
+
+	if err := cli.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(2)
+	}
 
 	spec := workloads.Spec{Name: *workload, N: *n, Grain: *grain, Iters: *iters, Seed: *seed}
 	cfg := machine.Default(*cores)
@@ -49,33 +67,72 @@ func main() {
 	fmt.Printf("config:   %v\n", cfg)
 	fmt.Printf("workload: %v\n", spec)
 
+	if *attr || *timeline {
+		if cli.Dir != "" || cli.Stats {
+			fmt.Fprintln(os.Stderr, "cmpsim: cache flags ignored — -attr/-timeline runs are uncached (their outputs are not part of the cached record)")
+		}
+		runVerbose(cfg, spec, *sched, *seed, *attr, *timeline)
+		return
+	}
+
+	store, err := cli.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(1)
+	}
+	key := rcache.KeyOf(cfg, spec, *sched, *seed, false)
+	r, err := store.Do(key, func() (metrics.Run, error) {
+		return exp.RunOneSeeded(cfg, spec, *sched, *seed)
+	})
+	// Stats print even on failure, mirroring sweep: a failed cell is
+	// exactly when the operator wants the counters. Both lines match
+	// sweep's -cache-stats output (rcache + instance pool).
+	if cli.Stats {
+		fmt.Fprintln(os.Stderr, store.Stats())
+		fmt.Fprintln(os.Stderr, exp.InstancePool.Stats())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "FAILED:", err)
+		os.Exit(1)
+	}
+	printResult(r)
+}
+
+func printResult(r metrics.Run) {
+	fmt.Printf("result:   %v\n", r)
+	fmt.Printf("          L1 MPKI %.3f | L2 MPKI %.3f | bus util %.2f | utilization %.2f | premature hw %d\n",
+		r.L1MPKI(), r.L2MPKI(), r.BusUtilization, r.Utilization(), r.MaxPremature)
+}
+
+// runVerbose is the uncacheable path: a fresh engine with attribution
+// and/or timeline capture enabled, printing their reports after the result.
+func runVerbose(cfg machine.Config, spec workloads.Spec, sched string, seed uint64, attr, timeline bool) {
 	in := workloads.Build(spec)
+	in.BeginRun()
 	// The parsed -seed drives both the workload data (via spec) and the
 	// scheduler's RNG; passing exp.Seed here would pin WS victim selection
 	// to the default seed no matter what the user asked for.
-	s := core.ByName(*sched, exp.OverheadsOf(cfg), *seed)
+	s := core.ByName(sched, exp.OverheadsOf(cfg), seed)
 	e := sim.New(cfg, in.Graph, s, nil)
 	var attribution *cache.Attribution
-	if *attr {
+	if attr {
 		attribution = e.Hierarchy().EnableAttribution(in.Space)
 	}
-	e.CaptureTimeline = *timeline
+	e.CaptureTimeline = timeline
 	r := e.Run()
 	r.Workload = spec.Name
 	if err := in.Verify(); err != nil {
 		fmt.Fprintln(os.Stderr, "FAILED:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("result:   %v\n", r)
-	fmt.Printf("          L1 MPKI %.3f | L2 MPKI %.3f | bus util %.2f | utilization %.2f | premature hw %d\n",
-		r.L1MPKI(), r.L2MPKI(), r.BusUtilization, r.Utilization(), r.MaxPremature)
+	printResult(r)
 	if attribution != nil {
 		fmt.Println("off-chip traffic by array:")
 		for _, e := range attribution.Report() {
 			fmt.Printf("          %-12s %8.2f MiB\n", e.Name, float64(e.MissBytes)/(1<<20))
 		}
 	}
-	if *timeline {
+	if timeline {
 		fmt.Println("node,label,core,start,end")
 		for _, sp := range e.Timeline {
 			fmt.Printf("%d,%s,%d,%d,%d\n", sp.Node, in.Graph.Node(sp.Node).Label, sp.Core, sp.Start, sp.End)

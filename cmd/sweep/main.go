@@ -30,7 +30,10 @@
 //	                 bypass the cell cache, still simulates). Within one
 //	                 run, cells repeated across experiments are deduplicated
 //	                 in memory even without -cache.
-//	-cache-stats     print hit/miss/inflight-dedup counters to stderr on exit
+//	-cache-stats     print hit/miss/inflight-dedup counters to stderr on
+//	                 exit, plus the workload instance pool's hit/evict line
+//	                 (cells that do simulate share one built instance per
+//	                 spec across scheduler arms; see internal/workloads.Pool)
 //	-cache-readonly  consult DIR but never write it (CI-friendly)
 //	-cache-gc        prune entries from dead schema versions in DIR, then exit
 package main
@@ -48,16 +51,13 @@ import (
 
 func main() {
 	var (
-		id         = flag.String("exp", "all", "experiment id, or 'all'")
-		quick      = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
-		cacheDir   = flag.String("cache", "", "result-cache directory; empty = in-memory dedup only")
-		cacheStats = flag.Bool("cache-stats", false, "print result-cache counters to stderr on exit")
-		cacheRO    = flag.Bool("cache-readonly", false, "consult the result cache but never write entries")
-		cacheGC    = flag.Bool("cache-gc", false, "prune dead schema versions under -cache DIR and exit")
+		id       = flag.String("exp", "all", "experiment id, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced problem sizes (~8x smaller)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
 	)
+	cli := rcache.RegisterCLI(flag.CommandLine, true)
 	flag.Parse()
 
 	if *list {
@@ -67,28 +67,19 @@ func main() {
 		return
 	}
 
-	if *cacheGC {
-		if *cacheDir == "" {
-			fmt.Fprintln(os.Stderr, "sweep: -cache-gc requires -cache DIR")
-			os.Exit(2)
-		}
-		if *cacheRO {
-			fmt.Fprintln(os.Stderr, "sweep: -cache-gc deletes dead entries; it contradicts -cache-readonly")
-			os.Exit(2)
-		}
-		versions, entries, err := rcache.GC(*cacheDir)
+	if err := cli.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
+	if cli.GC {
+		summary, err := cli.RunGC()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "rcache-gc: removed %d dead schema version(s) holding %d entries; live schema is %s\n",
-			versions, entries, rcache.LiveVersion())
+		fmt.Fprintln(os.Stderr, summary)
 		return
-	}
-
-	if *cacheRO && *cacheDir == "" {
-		fmt.Fprintln(os.Stderr, "sweep: -cache-readonly requires -cache DIR")
-		os.Exit(2)
 	}
 
 	exp.Parallelism = *parallel
@@ -97,13 +88,10 @@ func main() {
 	// The in-memory tier is always on: cells repeated across experiments
 	// within this run deduplicate for free (output is byte-identical either
 	// way). -cache DIR adds the persistent layer.
-	store := rcache.NewMemory()
-	if *cacheDir != "" {
-		var err error
-		if store, err = rcache.Open(*cacheDir, *cacheRO); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
+	store, err := cli.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
 	}
 	exp.Cache = store
 
@@ -120,7 +108,7 @@ func main() {
 	for i, e := range ids {
 		jobs[i] = func() (*exp.Result, error) { return exp.Run(e, *quick) }
 	}
-	err := runner.Stream(*parallel, jobs, func(i int, res *exp.Result, err error) error {
+	err = runner.Stream(*parallel, jobs, func(i int, res *exp.Result, err error) error {
 		if err != nil {
 			return fmt.Errorf("%s: %v", ids[i], err)
 		}
@@ -134,9 +122,11 @@ func main() {
 		return nil
 	})
 	// Stats print even on failure: a run aborted by a bad cell (or a sick
-	// shared cache) is exactly when the operator wants the counters.
-	if *cacheStats {
+	// shared cache) is exactly when the operator wants the counters. The
+	// instance-pool line shows how much build work cell misses shared.
+	if cli.Stats {
 		fmt.Fprintln(os.Stderr, store.Stats())
+		fmt.Fprintln(os.Stderr, exp.InstancePool.Stats())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

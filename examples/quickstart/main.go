@@ -34,15 +34,18 @@ func main() {
 	fmt.Println("machine:", cfg)
 	fmt.Println()
 
-	// 3. Run the same computation under each scheduler. Instances are
-	//    single-use (tasks mutate their data), so build a fresh one per run.
+	// 3. Run the same computation under each scheduler. Tasks mutate their
+	//    data, but the instance is multi-run: Reset restores the build-time
+	//    bytes, so both arms share the one build above — the lifecycle the
+	//    experiment layer's instance pool automates.
 	tbl := report.New("PDF vs WS on one workload", "sched", "cycles", "L2 MPKI", "offchip MiB", "steals")
 	for _, schedName := range []string{"pdf", "ws"} {
-		inst := workloads.Build(spec)
+		in.Reset()
+		in.BeginRun()
 		sched := core.ByName(schedName, exp.OverheadsOf(cfg), 1)
-		engine := sim.New(cfg, inst.Graph, sched, nil)
+		engine := sim.New(cfg, in.Graph, sched, nil)
 		r := engine.Run()
-		if err := inst.Verify(); err != nil {
+		if err := in.Verify(); err != nil {
 			log.Fatalf("%s produced a wrong answer: %v", schedName, err)
 		}
 		tbl.AddRow(schedName, r.Cycles, r.L2MPKI(), float64(r.OffchipBytes)/(1<<20), r.Steals)

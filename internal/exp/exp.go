@@ -38,6 +38,15 @@ var Parallelism = runtime.GOMAXPROCS(0)
 // before running experiments; cmd/sweep wires it to the -cache flags.
 var Cache *rcache.Store
 
+// InstancePool memoizes built workload instances below the cell cache: an
+// rcache miss still reuses the (reset) instance a sibling scheduler arm
+// already built for the same spec, halving-or-better cold-sweep build work.
+// A pooled reuse is invisible in results — Instance.Reset restores the
+// build-time bytes, so output is byte-identical with the pool on or off
+// (TestPooledMatchesUnpooled). nil disables pooling (every run builds
+// fresh); the cold-sweep benchmark pair flips this.
+var InstancePool = workloads.DefaultPool
+
 // A cell names one independent simulation: a workload instance on a machine
 // configuration under a scheduler. Experiments enumerate their cells up
 // front and submit the batch to the runner instead of looping over RunOne.
@@ -88,19 +97,32 @@ func OverheadsOf(cfg machine.Config) core.Overheads {
 	}
 }
 
-// RunOne builds a fresh instance of spec and simulates it on cfg under the
-// named scheduler, verifying functional correctness. This is the uncached
-// compute path; experiment cells go through runCells, which layers the
-// optional Cache on top.
+// RunOne acquires an instance of spec (from InstancePool when enabled,
+// freshly built otherwise) and simulates it on cfg under the named
+// scheduler, verifying functional correctness. This is the uncached compute
+// path; experiment cells go through runCells, which layers the optional
+// Cache on top.
 func RunOne(cfg machine.Config, spec workloads.Spec, sched string) (metrics.Run, error) {
-	in := workloads.Build(spec)
-	s := core.ByName(sched, OverheadsOf(cfg), Seed)
+	return RunOneSeeded(cfg, spec, sched, Seed)
+}
+
+// RunOneSeeded is RunOne with an explicit scheduler seed (WS victim
+// selection); cmd/cmpsim exposes the seed as a flag, experiments pin it to
+// Seed.
+func RunOneSeeded(cfg machine.Config, spec workloads.Spec, sched string, seed uint64) (metrics.Run, error) {
+	in := InstancePool.Acquire(spec)
+	in.BeginRun()
+	s := core.ByName(sched, OverheadsOf(cfg), seed)
 	e := sim.New(cfg, in.Graph, s, nil)
 	r := e.Run()
 	r.Workload = spec.Name
 	if err := in.Verify(); err != nil {
+		// A failed instance never re-enters the pool: its data (or worse,
+		// its build) is suspect, and a reset cannot prove otherwise.
+		InstancePool.Discard(in)
 		return r, fmt.Errorf("exp: %v under %s on %s: %w", spec, sched, cfg.Name, err)
 	}
+	InstancePool.Release(in)
 	return r, nil
 }
 

@@ -68,8 +68,10 @@ func multiprogOnce(sched string, cores int, quantum int64, quick bool) ([]string
 	specA := workloads.Spec{Name: "mergesort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed, SpaceID: 0}
 	specB := workloads.Spec{Name: "scan", N: sizing(1<<21, quick), Grain: 4096, Seed: Seed + 1, SpaceID: 1}
 
-	inA := workloads.Build(specA)
-	inB := workloads.Build(specB)
+	inA := InstancePool.Acquire(specA)
+	inB := InstancePool.Acquire(specB)
+	inA.BeginRun()
+	inB.BeginRun()
 
 	engA := sim.New(cfg, inA.Graph, core.ByName(sched, OverheadsOf(cfg), Seed), nil)
 	// B shares A's hierarchy: same L2, same bus — a context switch, not a
@@ -112,16 +114,26 @@ func multiprogOnce(sched string, cores int, quantum int64, quick bool) ([]string
 	for !engB.Done() {
 		engB.RunFor(quantum)
 	}
-	if err := inA.Verify(); err != nil {
-		return nil, nil, err
-	}
-	if err := inB.Verify(); err != nil {
-		return nil, nil, err
+	if errA, errB := inA.Verify(), inB.Verify(); errA != nil || errB != nil {
+		// Failed instances never re-enter the pool; Discard balances the
+		// checked-out accounting so later acquires are not misreported as
+		// contended.
+		InstancePool.Discard(inA)
+		InstancePool.Discard(inB)
+		if errA != nil {
+			return nil, nil, errA
+		}
+		return nil, nil, errB
 	}
 	ra := engA.Result()
 	ra.Workload = specA.Name
 	rb := engB.Result()
 	rb.Workload = specB.Name
+	// Both programs verified and all results extracted: only now does
+	// exclusive ownership end, so a concurrent arm's Acquire can never
+	// reset an instance this arm's engines still reference.
+	InstancePool.Release(inA)
+	InstancePool.Release(inB)
 
 	row := []string{
 		sched,

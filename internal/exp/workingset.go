@@ -23,7 +23,11 @@ import (
 func runA5Premature(quick bool) (*Result, error) {
 	n := sizing(1<<18, quick)
 	spec := workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}
-	shape := dag.Analyze(workloads.Build(spec).Graph)
+	// Acquire (not Build): the analysis only reads the graph, and releasing
+	// the untouched instance seeds the pool for this experiment's own cells.
+	in := InstancePool.Acquire(spec)
+	shape := dag.Analyze(in.Graph)
+	InstancePool.Release(in)
 
 	t := report.New(
 		fmt.Sprintf("Premature nodes (working-set theorem): mergesort, %d tasks, depth D=%d", shape.Nodes, shape.Depth),

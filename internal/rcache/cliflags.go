@@ -1,0 +1,66 @@
+package rcache
+
+import (
+	"flag"
+	"fmt"
+)
+
+// CLI bundles the result-cache command-line flags shared by cmd/sweep and
+// cmd/cmpsim, so the two drivers wire identical flag names, defaults, and
+// combination rules instead of copy-pasting them.
+type CLI struct {
+	Dir      string // -cache: persistent directory; "" = in-memory only
+	Stats    bool   // -cache-stats: print counters to stderr on exit
+	Readonly bool   // -cache-readonly: consult but never write
+	GC       bool   // -cache-gc: prune dead schema versions and exit (sweep only)
+}
+
+// RegisterCLI registers the common cache flags on fs and returns the struct
+// their values land in. withGC additionally registers -cache-gc, which only
+// cmd/sweep exposes.
+func RegisterCLI(fs *flag.FlagSet, withGC bool) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.Dir, "cache", "", "result-cache directory; empty = in-memory dedup only")
+	fs.BoolVar(&c.Stats, "cache-stats", false, "print result-cache counters to stderr on exit")
+	fs.BoolVar(&c.Readonly, "cache-readonly", false, "consult the result cache but never write entries")
+	if withGC {
+		fs.BoolVar(&c.GC, "cache-gc", false, "prune dead schema versions under -cache DIR and exit")
+	}
+	return c
+}
+
+// Validate rejects contradictory flag combinations. Callers treat a non-nil
+// error as a usage error (exit 2).
+func (c *CLI) Validate() error {
+	if c.GC && c.Dir == "" {
+		return fmt.Errorf("-cache-gc requires -cache DIR")
+	}
+	if c.GC && c.Readonly {
+		return fmt.Errorf("-cache-gc deletes dead entries; it contradicts -cache-readonly")
+	}
+	if c.Readonly && c.Dir == "" {
+		return fmt.Errorf("-cache-readonly requires -cache DIR")
+	}
+	return nil
+}
+
+// RunGC executes the -cache-gc action and returns the human-readable
+// summary line. Only meaningful when c.GC is set.
+func (c *CLI) RunGC() (string, error) {
+	versions, entries, err := GC(c.Dir)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("rcache-gc: removed %d dead schema version(s) holding %d entries; live schema is %s",
+		versions, entries, LiveVersion()), nil
+}
+
+// Open returns the store the flags describe: disk-backed under -cache DIR,
+// otherwise memory-only (in-process dedup is always on — output is
+// byte-identical either way).
+func (c *CLI) Open() (*Store, error) {
+	if c.Dir == "" {
+		return NewMemory(), nil
+	}
+	return Open(c.Dir, c.Readonly)
+}

@@ -10,9 +10,13 @@ type Int64s struct {
 	Data []int64
 }
 
-// NewInt64s allocates an n-element array named name in space s.
+// NewInt64s allocates an n-element array named name in space s. The backing
+// slice is tracked by the space, so Space.Freeze/Reset snapshot and restore
+// its contents (the workload layer's build-once/run-many lifecycle).
 func NewInt64s(s *mem.Space, name string, n int) Int64s {
-	return Int64s{Base: s.Alloc(name, uint64(n)*8, 64), Data: make([]int64, n)}
+	a := Int64s{Base: s.Alloc(name, uint64(n)*8, 64), Data: make([]int64, n)}
+	mem.Track(s, a.Data)
+	return a
 }
 
 // Addr returns the simulated address of element i.
@@ -45,9 +49,12 @@ type Float64s struct {
 	Data []float64
 }
 
-// NewFloat64s allocates an n-element array named name in space s.
+// NewFloat64s allocates an n-element array named name in space s, tracked
+// for Space.Freeze/Reset like NewInt64s.
 func NewFloat64s(s *mem.Space, name string, n int) Float64s {
-	return Float64s{Base: s.Alloc(name, uint64(n)*8, 64), Data: make([]float64, n)}
+	a := Float64s{Base: s.Alloc(name, uint64(n)*8, 64), Data: make([]float64, n)}
+	mem.Track(s, a.Data)
+	return a
 }
 
 // Addr returns the simulated address of element i.
@@ -75,9 +82,12 @@ type Int32s struct {
 	Data []int32
 }
 
-// NewInt32s allocates an n-element array named name in space s.
+// NewInt32s allocates an n-element array named name in space s, tracked
+// for Space.Freeze/Reset like NewInt64s.
 func NewInt32s(s *mem.Space, name string, n int) Int32s {
-	return Int32s{Base: s.Alloc(name, uint64(n)*4, 64), Data: make([]int32, n)}
+	a := Int32s{Base: s.Alloc(name, uint64(n)*4, 64), Data: make([]int32, n)}
+	mem.Track(s, a.Data)
+	return a
 }
 
 // Addr returns the simulated address of element i.

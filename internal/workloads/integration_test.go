@@ -27,6 +27,7 @@ func smallSpec(name string) Spec {
 
 func runOn(t *testing.T, in *Instance, cores int, schedName string) {
 	t.Helper()
+	in.BeginRun()
 	cfg := machine.Default(cores)
 	o := core.Overheads{PDFDispatch: cfg.PDFDispatch, WSPopLocal: cfg.WSPopLocal,
 		WSStealProbe: cfg.WSStealProbe, WSStealXfer: cfg.WSStealXfer}

@@ -24,6 +24,23 @@ func TestSpecFingerprintCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestSpecStringCoversEveryField guards the human-readable form the same
+// way: String feeds labels and diagnostics, and a field it omits (SpaceID
+// was the bug — multiprogramming arms in different address spaces rendered
+// identically) makes distinct specs indistinguishable in output.
+func TestSpecStringCoversEveryField(t *testing.T) {
+	base := Spec{Name: "mergesort", N: 1 << 14, Grain: 1024, Iters: 2, Seed: 7, SpaceID: 1}
+	ref := base.String()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		mod := base
+		testutil.PerturbField(t, reflect.ValueOf(&mod).Elem().Field(i))
+		if mod.String() == ref {
+			t.Errorf("Spec.String ignores field %s — distinct specs render identically", typ.Field(i).Name)
+		}
+	}
+}
+
 func TestSpecFingerprintStable(t *testing.T) {
 	a := Spec{Name: "fft", N: 4096, Grain: 256, Seed: 3}
 	b := Spec{Name: "fft", N: 4096, Grain: 256, Seed: 3}

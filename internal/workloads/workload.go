@@ -8,14 +8,27 @@
 //
 // Every workload builds a dag.Graph whose tasks execute the genuine
 // algorithm on live data while recording simulated memory references, so
-// the reference streams the cache hierarchy sees are authentic. A workload
-// instance is single-use: running it mutates its data, so experiments build
-// a fresh instance (same Spec, same seed, hence identical data) per run.
+// the reference streams the cache hierarchy sees are authentic.
+//
+// # Instance lifecycle
+//
+// An Instance separates immutable identity from mutable run state. The
+// graph, the address layout, and the build-time snapshot of every simulated
+// array are fixed at Build (the space is frozen); only the array contents
+// mutate during a simulated run. The lifecycle is build → run → Reset → run
+// …: BeginRun marks an instance in use (and panics on a second run without
+// an intervening Reset — the misuse guard), Reset restores every simulated
+// array to its build-time bytes at memcpy speed, re-arming both the data
+// and Verify. Equal Specs still build identical instances, so a reset
+// instance is indistinguishable from a fresh build — the property Pool
+// (pool.go) exploits to share one build across scheduler arms.
 package workloads
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/mem"
@@ -33,9 +46,12 @@ type Spec struct {
 	SpaceID uint8  // address space (multiprogramming experiments co-run spaces)
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Like Fingerprint it covers every field:
+// multiprogramming arms differ only in SpaceID, and omitting it would make
+// distinct address spaces render identically in labels and diagnostics.
 func (s Spec) String() string {
-	return fmt.Sprintf("%s(n=%d,grain=%d,iters=%d,seed=%d)", s.Name, s.N, s.Grain, s.Iters, s.Seed)
+	return fmt.Sprintf("%s(n=%d,grain=%d,iters=%d,seed=%d,space=%d)",
+		s.Name, s.N, s.Grain, s.Iters, s.Seed, s.SpaceID)
 }
 
 // Fingerprint returns a canonical, self-describing encoding of every field —
@@ -52,19 +68,76 @@ func (s Spec) Fingerprint() string {
 
 // Instance is a ready-to-simulate workload: a frozen DAG over allocated
 // simulated arrays, plus a functional-correctness check to run afterwards.
+// Graph, Space layout, and the space's frozen snapshot are immutable; the
+// array contents are the only mutable run state, and Reset restores them.
+// An Instance is exclusively owned while in use — its methods are not safe
+// for concurrent use on one instance.
 type Instance struct {
 	Spec   Spec
 	Graph  *dag.Graph
 	Space  *mem.Space
 	Verify func() error
+
+	// runs counts simulated runs since build or the last Reset. BeginRun
+	// uses it to guard against re-running an instance on dirty data.
+	runs int
 }
 
 // Footprint returns the instance's total allocated bytes.
 func (in *Instance) Footprint() uint64 { return in.Space.Footprint() }
 
+// Armed reports whether the instance's simulated arrays hold their
+// build-time contents (no run since build or the last Reset).
+func (in *Instance) Armed() bool { return in.runs == 0 }
+
+// BeginRun marks the start of one simulated execution of the instance's
+// graph. It panics if the instance has already been run without an
+// intervening Reset: a second run would execute over mutated data, silently
+// computing — and verifying — garbage.
+func (in *Instance) BeginRun() {
+	if in.runs != 0 {
+		panic(fmt.Sprintf("workloads: %v re-run without Reset (runs=%d) — data is no longer the build-time input", in.Spec, in.runs))
+	}
+	in.runs++
+}
+
+// Reset restores every simulated array to its build-time contents,
+// re-arming the instance (and its Verify) for another run. Resetting an
+// armed instance is a no-op.
+func (in *Instance) Reset() {
+	if in.runs == 0 {
+		return
+	}
+	in.Space.Reset()
+	in.runs = 0
+}
+
+// builds and buildNanos count Build calls and their total wall time —
+// the cold-sweep benchmarks read them to show how much construction work
+// the instance pool saves.
+var (
+	builds     atomic.Int64
+	buildNanos atomic.Int64
+)
+
+// BuildCount returns the number of Build calls so far in this process and
+// the total nanoseconds they took.
+func BuildCount() (n, nanos int64) { return builds.Load(), buildNanos.Load() }
+
 // Build constructs the named workload. It panics on unknown names or
 // malformed parameters — Specs are experiment-table input, not user input.
 func Build(s Spec) *Instance {
+	start := time.Now()
+	in := build(s)
+	// Freeze captures the build-time bytes of every simulated array; Reset
+	// restores them, making the instance multi-run.
+	in.Space.Freeze()
+	builds.Add(1)
+	buildNanos.Add(time.Since(start).Nanoseconds())
+	return in
+}
+
+func build(s Spec) *Instance {
 	if s.N <= 0 {
 		panic(fmt.Sprintf("workloads: %v has non-positive N", s))
 	}

@@ -8,9 +8,10 @@
 //	cmpsim -workload spmv -cache ~/.repro-cache     # reuse sweep's results
 //
 // cmpsim shares the result cache — and its flag wiring (-cache,
-// -cache-stats, -cache-readonly) — with cmd/sweep: a cell cmpsim runs is
-// the same content-addressed cell a full-size sweep runs, so either tool
-// can serve the other's warm entries. (Quick-mode sweep entries are a
+// -cache-remote, -cache-stats, -cache-readonly) — with cmd/sweep: a cell
+// cmpsim runs is the same content-addressed cell a full-size sweep runs, so
+// either tool can serve the other's warm entries, locally or through a
+// shared cached server (cmd/cached). (Quick-mode sweep entries are a
 // separate cache identity — quick is part of the cell key — so cmpsim,
 // which always keys full-size, never aliases them.) -attr and -timeline
 // need a live engine (their outputs are not part of the cached record), so
@@ -68,7 +69,7 @@ func main() {
 	fmt.Printf("workload: %v\n", spec)
 
 	if *attr || *timeline {
-		if cli.Dir != "" || cli.Stats {
+		if cli.Dir != "" || cli.Remote != "" || cli.Stats {
 			fmt.Fprintln(os.Stderr, "cmpsim: cache flags ignored — -attr/-timeline runs are uncached (their outputs are not part of the cached record)")
 		}
 		runVerbose(cfg, spec, *sched, *seed, *attr, *timeline)
@@ -84,6 +85,9 @@ func main() {
 	r, err := store.Do(key, func() (metrics.Run, error) {
 		return exp.RunOneSeeded(cfg, spec, *sched, *seed)
 	})
+	// Drain the remote write-back (if any) before stats or exit, as sweep
+	// does: a one-cell run that computed must still reach the shared server.
+	store.Close()
 	// Stats print even on failure, mirroring sweep: a failed cell is
 	// exactly when the operator wants the counters. Both lines match
 	// sweep's -cache-stats output (rcache + instance pool).

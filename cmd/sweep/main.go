@@ -8,9 +8,11 @@
 //	sweep -exp all                  # the whole evaluation
 //	sweep -exp all -parallel 8      # fan cells out over 8 workers
 //	sweep -exp all -cache ~/.repro-cache   # memoize cells across runs
+//	sweep -exp all -cache DIR -cache-remote http://host:8344   # shared store
 //	sweep -exp fig1-speedup -csv    # machine-readable series
 //	sweep -list                     # available experiment ids
 //	sweep -cache DIR -cache-gc      # prune dead cache schema versions
+//	sweep -cache DIR -cache-gc -cache-max-bytes 268435456   # + LRU size budget
 //
 // -parallel N (default GOMAXPROCS) runs independent simulation cells — and,
 // for -exp all, distinct experiment ids — on N concurrent workers. The two
@@ -30,12 +32,19 @@
 //	                 bypass the cell cache, still simulates). Within one
 //	                 run, cells repeated across experiments are deduplicated
 //	                 in memory even without -cache.
+//	-cache-remote URL  layer a shared cached server (cmd/cached) behind the
+//	                 local tiers: cells missing locally are fetched from it
+//	                 (and filled into DIR), computed cells are written back
+//	                 asynchronously. A dead or sick server degrades to
+//	                 local-only — it never fails the sweep.
 //	-cache-stats     print hit/miss/inflight-dedup counters to stderr on
 //	                 exit, plus the workload instance pool's hit/evict line
 //	                 (cells that do simulate share one built instance per
 //	                 spec across scheduler arms; see internal/workloads.Pool)
-//	-cache-readonly  consult DIR but never write it (CI-friendly)
-//	-cache-gc        prune entries from dead schema versions in DIR, then exit
+//	-cache-readonly  consult DIR/URL but never write either (CI-friendly)
+//	-cache-gc        prune entries from dead schema versions in DIR — and,
+//	                 with -cache-max-bytes N, LRU-evict down to the byte
+//	                 budget, reporting what was reclaimed — then exit
 package main
 
 import (
@@ -121,6 +130,10 @@ func main() {
 		}
 		return nil
 	})
+	// Drain remote write-backs before stats or exit: results computed at
+	// the tail of the sweep must reach the shared server, and the
+	// remote-stores counter must be final when printed.
+	store.Close()
 	// Stats print even on failure: a run aborted by a bad cell (or a sick
 	// shared cache) is exactly when the operator wants the counters. The
 	// instance-pool line shows how much build work cell misses shared.

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/rcache"
+)
+
+// TestRemoteTierMatchesLocal is the shared-cache-e2e CI job run in-process:
+// experiment output must be byte-identical with no cache, with a cold
+// client filling a shared server, with a second cold client warmed entirely
+// over the wire (misses=0), and with a dead remote (degrades to local-only,
+// never fails the sweep).
+func TestRemoteTierMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+
+	const id = "fig1-misses"
+	Cache = nil
+	want := renderAll(t, id)
+
+	srv, err := rcache.NewServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Client A: cold local store, cold server. Computes everything; the
+	// asynchronous write-back (drained by Close) fills the server.
+	a, err := rcache.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachRemote(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	Cache = a
+	if got := renderAll(t, id); got != want {
+		t.Errorf("%s: cold client output differs from uncached:\n--- uncached ---\n%s\n--- remote ---\n%s", id, want, got)
+	}
+	a.Close()
+	if st := a.Stats(); st.Misses == 0 || st.RemoteStores != st.Misses {
+		t.Errorf("client A stats %+v: every computed cell must be written back", st)
+	}
+
+	// Client B: a different machine in the fleet — empty local store, warm
+	// server. All warmth arrives over the wire; nothing simulates.
+	b, err := rcache.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachRemote(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	Cache = b
+	if got := renderAll(t, id); got != want {
+		t.Errorf("%s: warm-over-wire output differs from uncached", id)
+	}
+	b.Close()
+	if st := b.Stats(); st.Misses != 0 || st.RemoteHits == 0 || st.RemoteErrs != 0 {
+		t.Errorf("client B stats %+v: want pure remote hits, no simulation", st)
+	}
+
+	// Client C: the server is gone. The sweep must complete with identical
+	// bytes on local computes alone, with the failure latched and counted.
+	c, err := rcache.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachRemote("http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	Cache = c
+	if got := renderAll(t, id); got != want {
+		t.Errorf("%s: dead-remote output differs from uncached", id)
+	}
+	c.Close()
+	if st := c.Stats(); st.Misses == 0 || st.RemoteErrs == 0 {
+		t.Errorf("client C stats %+v: want local computes with a latched remote error", st)
+	}
+}

@@ -10,21 +10,25 @@ import (
 // combination rules instead of copy-pasting them.
 type CLI struct {
 	Dir      string // -cache: persistent directory; "" = in-memory only
+	Remote   string // -cache-remote: base URL of a cached server; "" = local-only
 	Stats    bool   // -cache-stats: print counters to stderr on exit
 	Readonly bool   // -cache-readonly: consult but never write
 	GC       bool   // -cache-gc: prune dead schema versions and exit (sweep only)
+	MaxBytes int64  // -cache-max-bytes: size budget -cache-gc enforces by LRU (sweep only)
 }
 
 // RegisterCLI registers the common cache flags on fs and returns the struct
-// their values land in. withGC additionally registers -cache-gc, which only
-// cmd/sweep exposes.
+// their values land in. withGC additionally registers -cache-gc and its
+// -cache-max-bytes budget, which only cmd/sweep exposes.
 func RegisterCLI(fs *flag.FlagSet, withGC bool) *CLI {
 	c := &CLI{}
 	fs.StringVar(&c.Dir, "cache", "", "result-cache directory; empty = in-memory dedup only")
+	fs.StringVar(&c.Remote, "cache-remote", "", "base URL of a shared cache server (cmd/cached); misses fall through to it, computed cells write back")
 	fs.BoolVar(&c.Stats, "cache-stats", false, "print result-cache counters to stderr on exit")
-	fs.BoolVar(&c.Readonly, "cache-readonly", false, "consult the result cache but never write entries")
+	fs.BoolVar(&c.Readonly, "cache-readonly", false, "consult the result cache but never write entries (local or remote)")
 	if withGC {
-		fs.BoolVar(&c.GC, "cache-gc", false, "prune dead schema versions under -cache DIR and exit")
+		fs.BoolVar(&c.GC, "cache-gc", false, "prune dead schema versions under -cache DIR (and enforce -cache-max-bytes), then exit")
+		fs.Int64Var(&c.MaxBytes, "cache-max-bytes", 0, "with -cache-gc: evict least-recently-used entries until DIR fits this many bytes (0 = no size budget)")
 	}
 	return c
 }
@@ -38,29 +42,61 @@ func (c *CLI) Validate() error {
 	if c.GC && c.Readonly {
 		return fmt.Errorf("-cache-gc deletes dead entries; it contradicts -cache-readonly")
 	}
-	if c.Readonly && c.Dir == "" {
-		return fmt.Errorf("-cache-readonly requires -cache DIR")
+	if c.GC && c.Remote != "" {
+		return fmt.Errorf("-cache-gc is local maintenance; it never touches -cache-remote (the server enforces its own -max-bytes)")
+	}
+	if c.Readonly && c.Dir == "" && c.Remote == "" {
+		return fmt.Errorf("-cache-readonly requires -cache DIR or -cache-remote URL")
+	}
+	if c.MaxBytes < 0 {
+		return fmt.Errorf("-cache-max-bytes must be >= 0")
+	}
+	if c.MaxBytes > 0 && !c.GC {
+		return fmt.Errorf("-cache-max-bytes is a -cache-gc action (a server budget is cached's -max-bytes)")
 	}
 	return nil
 }
 
-// RunGC executes the -cache-gc action and returns the human-readable
-// summary line. Only meaningful when c.GC is set.
+// RunGC executes the -cache-gc action — dead schema versions always, the
+// LRU size budget when -cache-max-bytes is set — and returns the
+// human-readable summary line, including the bytes reclaimed. Only
+// meaningful when c.GC is set.
 func (c *CLI) RunGC() (string, error) {
 	versions, entries, err := GC(c.Dir)
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("rcache-gc: removed %d dead schema version(s) holding %d entries; live schema is %s",
-		versions, entries, LiveVersion()), nil
+	summary := fmt.Sprintf("rcache-gc: removed %d dead schema version(s) holding %d entries; live schema is %s",
+		versions, entries, LiveVersion())
+	if c.MaxBytes > 0 {
+		n, b, err := EnforceBudget(c.Dir, c.MaxBytes, nil)
+		if err != nil {
+			return "", fmt.Errorf("rcache: lru: %w", err)
+		}
+		summary += fmt.Sprintf("; lru evicted %d entries reclaiming %d bytes (budget %d)", n, b, c.MaxBytes)
+	}
+	return summary, nil
 }
 
-// Open returns the store the flags describe: disk-backed under -cache DIR,
-// otherwise memory-only (in-process dedup is always on — output is
-// byte-identical either way).
+// Open returns the store the flags describe: disk-backed under -cache DIR
+// (memory-only otherwise — in-process dedup is always on; output is
+// byte-identical either way), with the -cache-remote tier attached behind
+// it when given. Callers must Close the store before exit so pending remote
+// write-backs drain.
 func (c *CLI) Open() (*Store, error) {
-	if c.Dir == "" {
-		return NewMemory(), nil
+	s := NewMemory()
+	if c.Dir != "" {
+		var err error
+		if s, err = Open(c.Dir, c.Readonly); err != nil {
+			return nil, err
+		}
+	} else if c.Readonly {
+		s.readonly = true
 	}
-	return Open(c.Dir, c.Readonly)
+	if c.Remote != "" {
+		if err := s.AttachRemote(c.Remote); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }

@@ -10,7 +10,7 @@
 // to an uncached run: a cached Run is the same record the simulator produced,
 // round-tripped losslessly.
 //
-// The store is two-tier with a singleflight layer in front:
+// The store is three-tier with a singleflight layer in front:
 //
 //   - memory: a map keyed by fingerprint, deduplicating within one process
 //     (intra-sweep reuse, e.g. fig1-misses then fig1-speedup).
@@ -20,6 +20,10 @@
 //     concurrent writers of the same key are harmless (last rename wins,
 //     both wrote identical bytes). Mismatched or truncated records are
 //     treated as misses, counted, and best-effort deleted.
+//   - remote (optional): a cmd/cached server shared by a fleet of clients.
+//     Reads are read-through with local fill; computed cells are written
+//     back asynchronously; any failure degrades the tier to a miss — a dead
+//     server never fails a sweep. See remote.go and server.go.
 //   - singleflight: concurrent Do calls with the same key run the compute
 //     function once; latecomers block on the first caller's result. Under
 //     `sweep -exp all` the fig1-misses and fig1-speedup experiments race to
@@ -42,6 +46,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -107,43 +112,49 @@ func KeyOf(cfg machine.Config, spec workloads.Spec, sched string, seed uint64, q
 
 // Stats is a snapshot of a store's counters.
 type Stats struct {
-	MemHits  int64 // served from the in-process map
-	DiskHits int64 // served from the persistent layer
-	Misses   int64 // computed by the caller's function
-	Dedup    int64 // blocked on an identical in-flight computation
-	Stores   int64 // records written to disk
-	Corrupt  int64 // unreadable or mismatched disk records discarded
+	MemHits      int64 // served from the in-process map
+	DiskHits     int64 // served from the persistent layer
+	RemoteHits   int64 // served by the remote tier (and filled locally)
+	Misses       int64 // computed by the caller's function
+	Dedup        int64 // blocked on an identical in-flight computation
+	Stores       int64 // records written to disk
+	Corrupt      int64 // unreadable or mismatched disk records discarded
+	RemoteStores int64 // write-backs acknowledged by the remote server
+	RemoteErrs   int64 // remote anomalies degraded to misses/drops (one tick latches a dead server down)
 }
 
 // Lookups returns the total number of Do calls observed.
-func (s Stats) Lookups() int64 { return s.MemHits + s.DiskHits + s.Misses + s.Dedup }
+func (s Stats) Lookups() int64 { return s.MemHits + s.DiskHits + s.RemoteHits + s.Misses + s.Dedup }
 
 // Hits returns the lookups that avoided a fresh simulation.
-func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits + s.Dedup }
+func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits + s.RemoteHits + s.Dedup }
 
 // String renders the one-line summary cmd/sweep prints to stderr. The
-// hit-rate field is what the CI warm-cache smoke job asserts on.
+// hit-rate field is what the CI warm-cache smoke and shared-cache-e2e jobs
+// assert on; remote=N in the hits breakdown is the warmth that arrived over
+// the wire.
 func (s Stats) String() string {
 	rate := 0.0
 	if n := s.Lookups(); n > 0 {
 		rate = 100 * float64(s.Hits()) / float64(n)
 	}
-	return fmt.Sprintf("rcache: lookups=%d hits=%d (mem=%d disk=%d) misses=%d inflight-dedup=%d stores=%d corrupt=%d hit-rate=%.1f%%",
-		s.Lookups(), s.Hits(), s.MemHits, s.DiskHits, s.Misses, s.Dedup, s.Stores, s.Corrupt, rate)
+	return fmt.Sprintf("rcache: lookups=%d hits=%d (mem=%d disk=%d remote=%d) misses=%d inflight-dedup=%d stores=%d corrupt=%d remote-stores=%d remote-errs=%d hit-rate=%.1f%%",
+		s.Lookups(), s.Hits(), s.MemHits, s.DiskHits, s.RemoteHits, s.Misses, s.Dedup, s.Stores, s.Corrupt, s.RemoteStores, s.RemoteErrs, rate)
 }
 
 // Store is a two-tier (memory + optional disk) memoization table with
 // singleflight deduplication. The zero value is not usable; construct with
 // NewMemory or Open. All methods are safe for concurrent use.
 type Store struct {
-	dir      string // version directory; "" = memory-only
-	readonly bool   // consult disk but never write it
+	dir      string  // version directory; "" = memory-only
+	readonly bool    // consult disk/remote but never write either
+	remote   *remote // optional networked tier; nil = local-only
 
 	mu       sync.Mutex
 	mem      map[Key]metrics.Run
 	inflight map[Key]*flight
 
-	memHits, diskHits, misses, dedup, stores, corrupt atomic.Int64
+	memHits, diskHits, remoteHits, misses, dedup, stores, corrupt atomic.Int64
 }
 
 // flight is one in-progress computation; waiters block on done.
@@ -175,16 +186,50 @@ func Open(dir string, readonly bool) (*Store, error) {
 	return s, nil
 }
 
+// AttachRemote layers a cached server (see cmd/cached) behind the disk
+// tier: lookups missing locally are fetched from it and filled into the
+// local store; computed cells are written back asynchronously. Call before
+// the first Do. Errors only reject a malformed URL — an unreachable server
+// is detected lazily and degrades the tier to all-misses rather than
+// failing anything.
+func (s *Store) AttachRemote(baseURL string) error {
+	if s.remote != nil {
+		return fmt.Errorf("rcache: remote already attached")
+	}
+	r, err := newRemote(baseURL)
+	if err != nil {
+		return err
+	}
+	s.remote = r
+	return nil
+}
+
+// Close drains pending remote write-backs. CLI processes must call it
+// before reading final stats or exiting — results computed in the last
+// moments of a sweep would otherwise never reach the shared server. A
+// store with no remote tier needs no Close; it is a no-op there.
+func (s *Store) Close() {
+	if s.remote != nil {
+		s.remote.close()
+	}
+}
+
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
-	return Stats{
-		MemHits:  s.memHits.Load(),
-		DiskHits: s.diskHits.Load(),
-		Misses:   s.misses.Load(),
-		Dedup:    s.dedup.Load(),
-		Stores:   s.stores.Load(),
-		Corrupt:  s.corrupt.Load(),
+	st := Stats{
+		MemHits:    s.memHits.Load(),
+		DiskHits:   s.diskHits.Load(),
+		RemoteHits: s.remoteHits.Load(),
+		Misses:     s.misses.Load(),
+		Dedup:      s.dedup.Load(),
+		Stores:     s.stores.Load(),
+		Corrupt:    s.corrupt.Load(),
 	}
+	if s.remote != nil {
+		st.RemoteStores = s.remote.stores.Load()
+		st.RemoteErrs = s.remote.errs.Load()
+	}
+	return st
 }
 
 // Do returns the cached Run for key, or runs compute once — however many
@@ -220,11 +265,28 @@ func (s *Store) Do(key Key, compute func() (metrics.Run, error)) (metrics.Run, e
 	return f.run, f.err
 }
 
-// fill resolves a memory miss: disk first, then the compute function.
+// fill resolves a memory miss in tier order: disk, remote, then the compute
+// function. A remote hit is read-through-filled into the local disk tier (so
+// the next process needs no network); a computed result is persisted locally
+// and written back to the remote asynchronously. Only computed cells are
+// written back — a cell found on disk was either computed here once already
+// (and written back then) or arrived from a shared store in the first place,
+// so re-announcing it would just flood the server with PUTs it has.
 func (s *Store) fill(key Key, compute func() (metrics.Run, error)) (metrics.Run, error) {
 	if s.dir != "" {
 		if r, ok := s.diskGet(key); ok {
 			s.diskHits.Add(1)
+			return r, nil
+		}
+	}
+	if s.remote != nil {
+		if r, ok := s.remote.get(key); ok {
+			s.remoteHits.Add(1)
+			if s.dir != "" && !s.readonly {
+				if s.diskPut(key, r) {
+					s.stores.Add(1)
+				}
+			}
 			return r, nil
 		}
 	}
@@ -233,21 +295,43 @@ func (s *Store) fill(key Key, compute func() (metrics.Run, error)) (metrics.Run,
 	if err != nil {
 		return r, err
 	}
-	if s.dir != "" && !s.readonly {
-		if s.diskPut(key, r) {
-			s.stores.Add(1)
+	if !s.readonly {
+		b, encErr := encodeRecord(key, r)
+		if encErr == nil {
+			if s.dir != "" && writeEntry(s.dir, key.String(), b) {
+				s.stores.Add(1)
+			}
+			if s.remote != nil {
+				s.remote.put(key, b)
+			}
 		}
 	}
 	return r, nil
 }
 
-// record is the on-disk entry. Schema and Key are stored redundantly (both
-// already determine the file's path) so a record that was tampered with,
-// cross-copied, or half-written is detected and discarded instead of served.
+// record is the stored entry (on disk and on the wire). Schema and Key are
+// stored redundantly (both already determine the entry's path) so a record
+// that was tampered with, cross-copied, or half-written is detected and
+// discarded instead of served.
 type record struct {
 	Schema int         `json:"schema"`
 	Key    string      `json:"key"`
 	Run    metrics.Run `json:"run"`
+}
+
+// encodeRecord renders the entry bytes stored on disk and PUT to the remote.
+func encodeRecord(key Key, r metrics.Run) ([]byte, error) {
+	return json.Marshal(record{Schema: SchemaVersion, Key: key.String(), Run: r})
+}
+
+// decodeRecord parses and validates entry bytes from either tier: the record
+// must decode and claim exactly this schema and key, or it is not served.
+func decodeRecord(b []byte, key Key) (metrics.Run, bool) {
+	var rec record
+	if err := json.Unmarshal(b, &rec); err != nil || rec.Schema != SchemaVersion || rec.Key != key.String() {
+		return metrics.Run{}, false
+	}
+	return rec.Run, true
 }
 
 func (s *Store) path(key Key) string { return filepath.Join(s.dir, key.String()+".json") }
@@ -257,18 +341,24 @@ func (s *Store) path(key Key) string { return filepath.Join(s.dir, key.String()+
 // entry (when writable) so it is not re-parsed on every lookup. Read errors
 // other than not-exist — EMFILE under a wide fan-out, transient EACCES on a
 // shared mount — are just misses: the entry may be perfectly valid, so it
-// is never deleted on the strength of a failed read.
+// is never deleted on the strength of a failed read. A hit refreshes the
+// entry's timestamps — the "atime" EnforceBudget's LRU orders on (kernel
+// atime is unreliable under noatime mounts).
 func (s *Store) diskGet(key Key) (metrics.Run, bool) {
 	b, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return metrics.Run{}, false
 	}
-	var rec record
-	if err := json.Unmarshal(b, &rec); err != nil || rec.Schema != SchemaVersion || rec.Key != key.String() {
+	r, ok := decodeRecord(b, key)
+	if !ok {
 		s.discard(key)
 		return metrics.Run{}, false
 	}
-	return rec.Run, true
+	if !s.readonly {
+		now := time.Now()
+		os.Chtimes(s.path(key), now, now)
+	}
+	return r, true
 }
 
 // discard counts and best-effort removes a corrupt entry.
@@ -279,15 +369,23 @@ func (s *Store) discard(key Key) {
 	}
 }
 
-// diskPut writes the record to a temp file in the same directory and renames
-// it into place. Failures are swallowed: the cache degrades to a miss on the
-// next run rather than failing the sweep.
+// diskPut encodes and writes one record into the store's version directory.
+// Failures are swallowed: the cache degrades to a miss on the next run
+// rather than failing the sweep.
 func (s *Store) diskPut(key Key, r metrics.Run) bool {
-	b, err := json.Marshal(record{Schema: SchemaVersion, Key: key.String(), Run: r})
+	b, err := encodeRecord(key, r)
 	if err != nil {
 		return false
 	}
-	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	return writeEntry(s.dir, key.String(), b)
+}
+
+// writeEntry atomically lands entry bytes as dir/<name>.json via a temp file
+// in the same directory and a rename, so readers never observe a torn entry.
+// Shared by the disk tier and the HTTP server (whose store is the same
+// layout). Failures report false and leave no debris.
+func writeEntry(dir, name string, b []byte) bool {
+	tmp, err := os.CreateTemp(dir, "tmp-*")
 	if err != nil {
 		return false
 	}
@@ -308,7 +406,7 @@ func (s *Store) diskPut(key Key, r metrics.Run) bool {
 		os.Remove(tmp.Name())
 		return false
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name+".json")); err != nil {
 		os.Remove(tmp.Name())
 		return false
 	}

@@ -1,0 +1,208 @@
+package rcache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// The remote tier talks to a cmd/cached server, layered behind memory and
+// disk in Store.fill. Two properties make a dumb GET/PUT server sufficient
+// and the layering safe:
+//
+//   - Keys are content addresses: the key *is* the identity of the bytes, so
+//     there is no coherence problem. An entry is immutable; two writers of
+//     the same key wrote the same record; a stale read is impossible.
+//   - Every tier degrades to "miss": a dead, slow, or corrupt remote must
+//     never fail a sweep, only cost it a recomputation. The first transport
+//     error latches the tier down for the rest of the process, so a sweep
+//     against an unreachable server pays one failed dial, not one per cell.
+//
+// Reads are read-through with local fill (a remote hit is persisted into the
+// local disk tier, so the next run doesn't need the network). Writes are
+// asynchronous write-back: computed cells are queued and PUT by background
+// workers while the sweep keeps simulating; Store.Close drains the queue so
+// short-lived CLI processes don't exit with results unsent. The queue is
+// bounded — if the server can't keep up, overflow write-backs are dropped
+// (and counted), never blocking the simulation path.
+
+// maxEntryBytes bounds a record on the wire (and in the server): real
+// records are a few hundred bytes, so 8 MiB is pure paranoia against a
+// confused or malicious peer.
+const maxEntryBytes = 8 << 20
+
+// remoteTimeout bounds every request to the cache server. The server does
+// O(file read) work per request; anything slower than this is a sick server
+// the tier should latch away from rather than wait on.
+const remoteTimeout = 10 * time.Second
+
+type wbItem struct {
+	key  Key
+	body []byte
+}
+
+type remote struct {
+	base   string // server root, no trailing slash; entries live under /cache/<version>/<key>
+	client *http.Client
+
+	// down latches on the first transport error: all later gets return miss
+	// and all later puts drop, without touching the network again.
+	down atomic.Bool
+
+	errs   atomic.Int64 // transport failures, bad statuses, corrupt responses, dropped write-backs
+	stores atomic.Int64 // write-backs acknowledged by the server
+
+	mu     sync.Mutex // guards queue-vs-close
+	closed bool
+	queue  chan wbItem
+	wg     sync.WaitGroup
+}
+
+// writebackWorkers drains the queue concurrently so one slow PUT doesn't
+// convoy the rest; writebackQueue bounds the memory a burst of cold cells
+// can pin while the server lags.
+const (
+	writebackWorkers = 2
+	writebackQueue   = 512
+)
+
+func newRemote(baseURL string) (*remote, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("rcache: remote %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("rcache: remote %q: need http(s)://host[:port]", baseURL)
+	}
+	r := &remote{
+		base:   (&url.URL{Scheme: u.Scheme, Host: u.Host}).String(),
+		client: &http.Client{Timeout: remoteTimeout},
+		queue:  make(chan wbItem, writebackQueue),
+	}
+	for i := 0; i < writebackWorkers; i++ {
+		r.wg.Add(1)
+		go r.worker()
+	}
+	return r, nil
+}
+
+func (r *remote) url(key Key) string {
+	return r.base + "/cache/" + liveVersionDir + "/" + key.String()
+}
+
+// fail latches the tier down. Only the latching caller counts the error, so
+// a dead server costs one counter tick however many goroutines race into it.
+func (r *remote) fail() {
+	if !r.down.Swap(true) {
+		r.errs.Add(1)
+	}
+}
+
+// get fetches and validates one record. Any anomaly — transport error, bad
+// status, oversized or corrupt body, a record for the wrong key — is a miss;
+// transport errors additionally latch the tier down.
+func (r *remote) get(key Key) (metrics.Run, bool) {
+	if r.down.Load() {
+		return metrics.Run{}, false
+	}
+	resp, err := r.client.Get(r.url(key))
+	if err != nil {
+		r.fail()
+		return metrics.Run{}, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return metrics.Run{}, false // clean miss: server healthy, entry absent
+	default:
+		r.errs.Add(1)
+		return metrics.Run{}, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil {
+		r.fail()
+		return metrics.Run{}, false
+	}
+	if len(b) > maxEntryBytes {
+		r.errs.Add(1)
+		return metrics.Run{}, false
+	}
+	run, ok := decodeRecord(b, key)
+	if !ok {
+		// A 200 with a body that is not this key's record: a confused proxy
+		// or a tampered entry. Counted and refused, but not worth latching
+		// the whole tier down over one entry.
+		r.errs.Add(1)
+		return metrics.Run{}, false
+	}
+	return run, true
+}
+
+// put queues an asynchronous write-back of an already-encoded record. Never
+// blocks: a full queue drops the item (counted) — losing a write-back costs
+// a future recomputation, stalling the simulation path costs wall time now.
+func (r *remote) put(key Key, body []byte) {
+	if r.down.Load() {
+		return // designed degradation, not an error: the latch already counted
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	select {
+	case r.queue <- wbItem{key, body}:
+	default:
+		r.errs.Add(1)
+	}
+}
+
+func (r *remote) worker() {
+	defer r.wg.Done()
+	for item := range r.queue {
+		if r.down.Load() {
+			continue // drain cheaply once degraded
+		}
+		req, err := http.NewRequest(http.MethodPut, r.url(item.key), bytes.NewReader(item.body))
+		if err != nil {
+			r.errs.Add(1)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			r.fail()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			r.errs.Add(1)
+			continue
+		}
+		r.stores.Add(1)
+	}
+}
+
+// close drains pending write-backs and stops the workers. Safe to call more
+// than once; puts after close are dropped silently.
+func (r *remote) close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.queue)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}

@@ -1,0 +1,307 @@
+package rcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the HTTP front end cmd/cached mounts over a result-cache
+// directory, turning one warm store into a shared one for a fleet of sweep
+// and cmpsim clients.
+//
+// The resource model is deliberately dumb because the keys carry all the
+// intelligence: an entry is /cache/<version>/<key>, immutable once written,
+// with ETag = "<key>". The on-disk layout is exactly the Store's
+// (DIR/v<schema>-<shape>/<key>.json, atomic temp-file writes), so cached can
+// serve a directory a local `sweep -cache DIR` already populated, and a
+// directory cached populated can be mounted read-only as a local cache. The
+// version segment namespaces schema generations, so clients built before and
+// after a SchemaVersion bump share one server without aliasing.
+//
+// Because an entry's key is the content address of its bytes, a matching
+// If-None-Match is answered 304 without consulting the store at all: the
+// client asserting "I have <key>" is asserting it has the content, whether
+// or not this server still does.
+//
+// A -max-bytes budget is enforced after every PUT (and at startup) by the
+// LRU in EnforceBudget; GETs refresh an entry's recency, and entries with a
+// PUT in flight are never evicted.
+type Server struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex
+	inflight map[string]int // "version/key" → concurrent PUT count
+
+	evictMu sync.Mutex // serializes budget scans
+
+	gets, hits, misses, notModified atomic.Int64
+	puts, putBytes, badRequests     atomic.Int64
+	evictedEntries, evictedBytes    atomic.Int64
+}
+
+// NewServer returns a handler serving dir, creating it if needed. A
+// maxBytes > 0 budget is enforced immediately — a pre-populated directory
+// over budget is trimmed at boot — and after every PUT.
+func NewServer(dir string, maxBytes int64) (*Server, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("rcache: server: %w", err)
+	}
+	s := &Server{dir: dir, maxBytes: maxBytes, inflight: map[string]int{}}
+	s.enforceBudget()
+	return s, nil
+}
+
+// ServerStats is the /stats response. Counter fields are cumulative since
+// boot; Entries/Bytes are the store's current contents.
+type ServerStats struct {
+	Gets           int64 `json:"gets"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	NotModified    int64 `json:"not_modified"`
+	Puts           int64 `json:"puts"`
+	PutBytes       int64 `json:"put_bytes"`
+	BadRequests    int64 `json:"bad_requests"`
+	EvictedEntries int64 `json:"evicted_entries"`
+	EvictedBytes   int64 `json:"evicted_bytes"`
+	Entries        int64 `json:"entries"`
+	Bytes          int64 `json:"bytes"`
+	MaxBytes       int64 `json:"max_bytes"`
+}
+
+// Stats snapshots the counters and walks the store for its current size.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Gets:           s.gets.Load(),
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		NotModified:    s.notModified.Load(),
+		Puts:           s.puts.Load(),
+		PutBytes:       s.putBytes.Load(),
+		BadRequests:    s.badRequests.Load(),
+		EvictedEntries: s.evictedEntries.Load(),
+		EvictedBytes:   s.evictedBytes.Load(),
+		MaxBytes:       s.maxBytes,
+	}
+	versions, _ := os.ReadDir(s.dir)
+	for _, v := range versions {
+		if !v.IsDir() || !isSchemaDirName(v.Name()) {
+			continue
+		}
+		files, _ := os.ReadDir(filepath.Join(s.dir, v.Name()))
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") || strings.HasPrefix(f.Name(), "tmp-") {
+				continue
+			}
+			if info, err := f.Info(); err == nil {
+				st.Entries++
+				st.Bytes += info.Size()
+			}
+		}
+	}
+	return st
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/stats" {
+		s.serveStats(w, r)
+		return
+	}
+	version, key, ok := parseEntryPath(r.URL.Path)
+	if !ok {
+		s.badRequests.Add(1)
+		http.Error(w, "want /cache/<version>/<key> or /stats", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.serveGet(w, r, version, key)
+	case http.MethodPut:
+		s.servePut(w, r, version, key)
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+func (s *Server) serveGet(w http.ResponseWriter, r *http.Request, version, key string) {
+	etag := `"` + key + `"`
+	inm := r.Header.Get("If-None-Match")
+	w.Header().Set("ETag", etag)
+	if etagMatches(inm, etag) {
+		// Content-addressed shortcut: the client holding <key> holds the
+		// content; no need to check whether we still do. (Only for a
+		// concrete tag — If-None-Match: * asserts server-side existence,
+		// RFC 9110 §13.1.2, and is checked against the store below.)
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.gets.Add(1)
+	path := filepath.Join(s.dir, version, key+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		http.Error(w, "no such entry", http.StatusNotFound)
+		return
+	}
+	s.hits.Add(1)
+	now := time.Now()
+	os.Chtimes(path, now, now) // refresh recency for the LRU
+	if strings.TrimSpace(inm) == "*" {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(b)
+}
+
+func (s *Server) servePut(w http.ResponseWriter, r *http.Request, version, key string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, "body unreadable or over entry size limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	// The body must be a record claiming exactly this key, and its schema
+	// number must match the generation the path names (the version segment
+	// starts v<schema>-, so the server can check that much without knowing
+	// the client's Run shape). Anything else is a confused client whose
+	// write must not land where other clients will trust it — a mismatched
+	// record would sit in the store failing every reader's validation until
+	// the LRU happened to age it out.
+	var rec record
+	if json.Unmarshal(body, &rec) != nil || rec.Key != key ||
+		!strings.HasPrefix(version, fmt.Sprintf("v%d-", rec.Schema)) {
+		s.badRequests.Add(1)
+		http.Error(w, "body is not a cache record for this key and schema", http.StatusBadRequest)
+		return
+	}
+
+	rel := version + "/" + key
+	s.mu.Lock()
+	s.inflight[rel]++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.inflight[rel]--; s.inflight[rel] == 0 {
+			delete(s.inflight, rel)
+		}
+		s.mu.Unlock()
+	}()
+
+	vdir := filepath.Join(s.dir, version)
+	if err := os.MkdirAll(vdir, 0o777); err != nil {
+		http.Error(w, "store unwritable", http.StatusInternalServerError)
+		return
+	}
+	if !writeEntry(vdir, key, body) {
+		http.Error(w, "store unwritable", http.StatusInternalServerError)
+		return
+	}
+	s.puts.Add(1)
+	s.putBytes.Add(int64(len(body)))
+	w.WriteHeader(http.StatusNoContent)
+	// Enforce while this PUT is still registered in-flight, so the entry
+	// just written can't be the one evicted to make room for itself.
+	s.enforceBudget()
+}
+
+// enforceBudget applies the LRU under the server's budget, shielding keys
+// with PUTs in flight. Scans are serialized; concurrent PUTs skip straight
+// through their own scan if another is running the same victims down.
+func (s *Server) enforceBudget() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	s.mu.Lock()
+	protected := make(map[string]bool, len(s.inflight))
+	for rel := range s.inflight {
+		protected[rel] = true
+	}
+	s.mu.Unlock()
+	n, b, err := EnforceBudget(s.dir, s.maxBytes, func(rel string) bool { return protected[rel] })
+	if err == nil {
+		s.evictedEntries.Add(n)
+		s.evictedBytes.Add(b)
+	}
+}
+
+// parseEntryPath validates /cache/<version>/<key>: version must be a schema
+// directory name this package generates, key a 64-char lowercase-hex SHA-256.
+// Anything else 404s — the server never lets a request name a path outside
+// its store.
+func parseEntryPath(path string) (version, key string, ok bool) {
+	rest, found := strings.CutPrefix(path, "/cache/")
+	if !found {
+		return "", "", false
+	}
+	version, key, found = strings.Cut(rest, "/")
+	if !found || !isSchemaDirName(version) || !isKeyName(key) {
+		return "", "", false
+	}
+	return version, key, true
+}
+
+func isKeyName(s string) bool {
+	if len(s) != 2*len(Key{}) {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// etagMatches implements the If-None-Match list for concrete validators:
+// any listed tag equal to etag (weak validators compare equal — the bytes
+// behind a key never differ). Bare unquoted keys are accepted for curl
+// convenience. "*" is deliberately not handled here: it asserts that the
+// server currently holds a representation, so serveGet answers it only
+// after finding the entry.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag || `"`+part+`"` == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -36,12 +37,12 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "mergesort", "one of: mergesort, mergesort-coarse, quicksort, matmul, spmv, scan, fft, lu, histogram, hashjoin")
+		workload = flag.String("workload", "mergesort", "one of: "+strings.Join(workloads.Names(), ", "))
 		n        = flag.Int("n", 1<<19, "problem size (elements or matrix dimension)")
 		grain    = flag.Int("grain", 2048, "task granularity in elements")
 		iters    = flag.Int("iters", 0, "iterations for iterative workloads (0 = default)")
 		cores    = flag.Int("cores", 8, "number of cores (1-64); default CMP config is derived")
-		sched    = flag.String("sched", "pdf", "scheduler: pdf, ws, ws-stealnewest, fifo")
+		sched    = flag.String("sched", "pdf", "scheduler: "+strings.Join(core.Names(), ", "))
 		seed     = flag.Uint64("seed", exp.Seed, "seed for workload data and WS victim-selection RNG")
 		shape    = flag.Bool("shape", false, "print DAG shape statistics and exit")
 		attr     = flag.Bool("attr", false, "attribute off-chip traffic to the workload's arrays (bypasses -cache)")
@@ -56,6 +57,23 @@ func main() {
 	}
 
 	spec := workloads.Spec{Name: *workload, N: *n, Grain: *grain, Iters: *iters, Seed: *seed}
+
+	// Validate user-named lookups up front: a typo'd scheduler, workload,
+	// or parameter is a usage error naming the valid set, not a panic
+	// stack. The same validators gate sweep's grid axes.
+	if _, err := core.Lookup(*sched, core.Overheads{}, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(2)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(2)
+	}
+	if *cores < 1 || *cores > 64 {
+		fmt.Fprintf(os.Stderr, "cmpsim: -cores must be in [1, 64], got %d\n", *cores)
+		os.Exit(2)
+	}
+
 	cfg := machine.Default(*cores)
 
 	if *shape {

@@ -1,6 +1,7 @@
 // Command sweep regenerates the paper's figures and findings tables by
 // experiment id (see EXPERIMENTS.md for the per-experiment index and
-// DESIGN.md for the architecture notes).
+// DESIGN.md for the architecture notes), and runs user-authored scenario
+// grids over the same execution machinery.
 //
 // Usage:
 //
@@ -13,6 +14,24 @@
 //	sweep -list                     # available experiment ids
 //	sweep -cache DIR -cache-gc      # prune dead cache schema versions
 //	sweep -cache DIR -cache-gc -cache-max-bytes 268435456   # + LRU size budget
+//
+// User grids (EXPERIMENTS.md, "Declarative scenario grids") sweep any
+// (workload x machine x scheduler) product the registry never wrote down —
+// schedulers: pdf, ws, ws-stealnewest, fifo:
+//
+//	sweep -grid mygrid.json         # a JSON grid definition
+//	sweep -grid-expr 'workload=mergesort,fft;cores=1..32;sched=pdf,ws'
+//	sweep -grid-expr 'workload=spmv;iters=3;cores=16;bw=2..16;metrics=cycles,bus-util'
+//
+// Grid cells flow through the same runner, instance pool, and result cache
+// as registry experiments: -parallel, -cache, -cache-remote, -cache-stats,
+// and -csv all apply, output is byte-identical at any parallelism and with
+// the cache off, cold, or warm. Grid sizes are explicit, so -quick does not
+// apply (it is rejected); grid cells are keyed full-size, so a grid cell
+// whose resolved (config, workload, scheduler) matches a full-size registry
+// or cmpsim cell field-for-field is served from the same cache entry
+// (override grids keep the per-core-count default config name for exactly
+// this reason).
 //
 // -parallel N (default GOMAXPROCS) runs independent simulation cells — and,
 // for -exp all, distinct experiment ids — on N concurrent workers. The two
@@ -52,8 +71,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/rcache"
 	"repro/internal/runner"
 )
@@ -65,6 +87,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
+		gridFile = flag.String("grid", "", "run a user-authored grid definition (JSON file; see EXPERIMENTS.md) instead of -exp")
+		gridExpr = flag.String("grid-expr", "", "run a one-line grid, e.g. 'workload=mergesort,fft;cores=1..32;sched=pdf,ws' (schedulers: "+strings.Join(core.Names(), ", ")+")")
 	)
 	cli := rcache.RegisterCLI(flag.CommandLine, true)
 	flag.Parse()
@@ -77,6 +101,12 @@ func main() {
 	}
 
 	if err := cli.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
+	userGrid, err := loadUserGrid(*gridFile, *gridExpr, *quick)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
@@ -103,6 +133,29 @@ func main() {
 		os.Exit(1)
 	}
 	exp.Cache = store
+
+	if userGrid != nil {
+		res, gerr := exp.RunGrid(userGrid, false)
+		// Same ordering as the registry path below: drain remote
+		// write-backs before stats or exit, print stats even on failure.
+		store.Close()
+		if cli.Stats {
+			fmt.Fprintln(os.Stderr, store.Stats())
+			fmt.Fprintln(os.Stderr, exp.InstancePool.Stats())
+		}
+		if gerr != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", gerr)
+			os.Exit(1)
+		}
+		for _, t := range res.Tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+		return
+	}
 
 	ids := exp.IDs()
 	if *id != "all" {
@@ -145,4 +198,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// loadUserGrid resolves -grid / -grid-expr into a validated grid, or nil
+// when neither flag is given. Errors here are usage errors: bad axis
+// values name the valid set (workloads, schedulers) instead of panicking
+// mid-sweep.
+func loadUserGrid(file, expr string, quick bool) (*grid.Grid, error) {
+	if file == "" && expr == "" {
+		return nil, nil
+	}
+	if file != "" && expr != "" {
+		return nil, fmt.Errorf("-grid and -grid-expr are mutually exclusive")
+	}
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	if expSet {
+		return nil, fmt.Errorf("-exp selects a registry experiment; it cannot combine with -grid/-grid-expr")
+	}
+	if quick {
+		return nil, fmt.Errorf("-quick does not apply to grids (their sizes are explicit; shrink the n axis instead)")
+	}
+	var def *grid.Def
+	var err error
+	if file != "" {
+		data, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, rerr
+		}
+		def, err = grid.ParseDef(data)
+	} else {
+		def, err = grid.ParseExpr(expr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return def.Resolve(exp.Seed)
 }

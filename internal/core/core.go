@@ -28,6 +28,9 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/dag"
 	"repro/internal/deque"
 	"repro/internal/pq"
@@ -270,20 +273,42 @@ func (f *FIFO) QueuedLen() int { return f.q.Len() }
 
 // ---------------------------------------------------------------------------
 
-// ByName constructs a scheduler from its experiment-table name.
-func ByName(name string, o Overheads, seed uint64) Scheduler {
+// Names lists the scheduler names Lookup and ByName accept, in the
+// experiment tables' canonical order. CLI usage texts and grid validation
+// derive the valid set from here, so a new scheduler is advertised
+// everywhere by adding it to this list and the Lookup switch.
+func Names() []string {
+	return []string{"pdf", "ws", "ws-stealnewest", "fifo"}
+}
+
+// Lookup constructs a scheduler from its experiment-table name, returning
+// an error naming the valid set on unknown input. This is the entry point
+// for user-supplied names (cmpsim -sched, sweep grids); trusted
+// experiment-table callers can use ByName.
+func Lookup(name string, o Overheads, seed uint64) (Scheduler, error) {
 	switch name {
 	case "pdf":
-		return NewPDF(o)
+		return NewPDF(o), nil
 	case "ws":
-		return NewWS(o, seed)
+		return NewWS(o, seed), nil
 	case "ws-stealnewest":
 		w := NewWS(o, seed)
 		w.StealNewest = true
-		return w
+		return w, nil
 	case "fifo":
-		return NewFIFO(o.PDFDispatch)
+		return NewFIFO(o.PDFDispatch), nil
 	default:
-		panic("core: unknown scheduler " + name)
+		return nil, fmt.Errorf("core: unknown scheduler %q (valid: %s)", name, strings.Join(Names(), ", "))
 	}
+}
+
+// ByName constructs a scheduler from its experiment-table name, panicking
+// on unknown names — for callers whose names come from the registry, not
+// from users.
+func ByName(name string, o Overheads, seed uint64) Scheduler {
+	s, err := Lookup(name, o, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/dag"
@@ -262,5 +263,31 @@ func TestWSResetReusesDeques(t *testing.T) {
 	w.Reset(2, g) // different core count: reallocate
 	if len(w.deques) != 2 {
 		t.Fatalf("deque count %d after Reset(2)", len(w.deques))
+	}
+}
+
+func TestLookupKnownNames(t *testing.T) {
+	// Every advertised name must construct, and the constructed type must
+	// match what ByName returns — Names, Lookup, and ByName stay in sync.
+	for _, name := range Names() {
+		s, err := Lookup(name, testOverheads, 1)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("Lookup(%q) returned nil scheduler", name)
+		}
+	}
+}
+
+func TestLookupUnknownNameListsValidSet(t *testing.T) {
+	_, err := Lookup("bogus", testOverheads, 1)
+	if err == nil {
+		t.Fatal("unknown name did not error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list %q", err, name)
+		}
 	}
 }

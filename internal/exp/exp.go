@@ -11,6 +11,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/rcache"
@@ -135,26 +136,33 @@ type Result struct {
 
 // An experiment produces a Result. quick mode shrinks problem sizes by ~8x
 // so the whole suite runs inside `go test`; published numbers use full mode.
+// Most experiments are declarative: grid builds the scenario Grid for the
+// requested mode and RunGrid executes it. Only experiments whose shape is
+// not a pure (workload x config x scheduler) product keep a bespoke run
+// function: t4-multiprog time-slices two engines over one shared hierarchy
+// (cells are not independent) and a5-premature analyzes DAG shape outside
+// any simulation cell.
 type experiment struct {
 	id   string
 	desc string
 	run  func(quick bool) (*Result, error)
+	grid func(quick bool) *grid.Grid
 }
 
 var registry = []experiment{
-	{"fig1-misses", "Figure 1 (left): mergesort L2 misses per 1000 instructions vs cores", runFig1Misses},
-	{"fig1-speedup", "Figure 1 (right): mergesort speedup over 1 core vs cores", runFig1Speedup},
-	{"t1-dc", "Finding 1: divide-and-conquer class, PDF vs WS at 16/32 cores", runT1DC},
-	{"t1-irregular", "Finding 1: bandwidth-limited irregular class, PDF vs WS", runT1Irregular},
-	{"t2-neutral", "Finding 2: limited-reuse and compute-bound classes, PDF ~ WS", runT2Neutral},
-	{"t3-power", "Power-down: runtime vs fraction of L2 ways powered off", runT3Power},
-	{"t4-multiprog", "Multiprogramming: L2 survival across context switches", runT4Multiprog},
-	{"t5-coarse", "Finding 3: coarse-grained SMP-style threading loses the PDF advantage", runT5Coarse},
-	{"a1-grain", "Ablation: task granularity sweep", runA1Grain},
-	{"a2-l2size", "Ablation: L2 capacity sweep at 16 cores", runA2L2Size},
-	{"a3-bandwidth", "Ablation: off-chip bandwidth sweep at 16 cores", runA3Bandwidth},
-	{"a4-stealpolicy", "Ablation: scheduler policy variants", runA4Policies},
-	{"a5-premature", "Premature nodes: the SPAA'04 working-set bound, measured", runA5Premature},
+	{id: "fig1-misses", desc: "Figure 1 (left): mergesort L2 misses per 1000 instructions vs cores", grid: gridFig1Misses},
+	{id: "fig1-speedup", desc: "Figure 1 (right): mergesort speedup over 1 core vs cores", grid: gridFig1Speedup},
+	{id: "t1-dc", desc: "Finding 1: divide-and-conquer class, PDF vs WS at 16/32 cores", grid: gridT1DC},
+	{id: "t1-irregular", desc: "Finding 1: bandwidth-limited irregular class, PDF vs WS", grid: gridT1Irregular},
+	{id: "t2-neutral", desc: "Finding 2: limited-reuse and compute-bound classes, PDF ~ WS", grid: gridT2Neutral},
+	{id: "t3-power", desc: "Power-down: runtime vs fraction of L2 ways powered off", grid: gridT3Power},
+	{id: "t4-multiprog", desc: "Multiprogramming: L2 survival across context switches", run: runT4Multiprog},
+	{id: "t5-coarse", desc: "Finding 3: coarse-grained SMP-style threading loses the PDF advantage", grid: gridT5Coarse},
+	{id: "a1-grain", desc: "Ablation: task granularity sweep", grid: gridA1Grain},
+	{id: "a2-l2size", desc: "Ablation: L2 capacity sweep at 16 cores", grid: gridA2L2Size},
+	{id: "a3-bandwidth", desc: "Ablation: off-chip bandwidth sweep at 16 cores", grid: gridA3Bandwidth},
+	{id: "a4-stealpolicy", desc: "Ablation: scheduler policy variants", grid: gridA4Policies},
+	{id: "a5-premature", desc: "Premature nodes: the SPAA'04 working-set bound, measured", run: runA5Premature},
 }
 
 // IDs lists experiment ids in canonical order.
@@ -180,10 +188,50 @@ func Describe(id string) string {
 func Run(id string, quick bool) (*Result, error) {
 	for _, e := range registry {
 		if e.id == id {
+			if e.grid != nil {
+				return RunGrid(e.grid(quick), quick)
+			}
 			return e.run(quick)
 		}
 	}
 	return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// RunGrid executes a declarative scenario grid: its cells are enumerated in
+// the grid's canonical order and flow through runCells — the same budgeted
+// runner, instance pool, and content-addressed cache path every registry
+// experiment uses — then the grid projects its table from the results.
+// quick is part of each cell's cache identity exactly as for registry
+// experiments; user-authored grids always run with quick=false (their sizes
+// are explicit), which also lets them share warm cells with full-size
+// registry sweeps and cmpsim.
+func RunGrid(g *grid.Grid, quick bool) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	gcells := g.Cells()
+	cells := make([]cell, len(gcells))
+	for i, c := range gcells {
+		cells[i] = cell{cfg: c.Config, spec: c.Spec, sched: c.Sched}
+	}
+	runs, err := runCells(quick, cells)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", g.ID, err)
+	}
+	t, err := g.Project(runs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: g.ID, Tables: []*report.Table{t}, Runs: runs}, nil
+}
+
+// ratio returns a/b, or 0 when b is 0 — the guard every derived table
+// column uses (the grid layer's "ratio" op has the same semantics).
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // sizing returns n scaled down 8x in quick mode (minimum floor keeps graphs

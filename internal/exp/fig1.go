@@ -1,9 +1,8 @@
 package exp
 
 import (
+	"repro/internal/grid"
 	"repro/internal/machine"
-	"repro/internal/metrics"
-	"repro/internal/report"
 	"repro/internal/workloads"
 )
 
@@ -13,67 +12,63 @@ func fig1Spec(quick bool) workloads.Spec {
 	return workloads.Spec{Name: "mergesort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed}
 }
 
-// fig1Sweep runs mergesort under both schedulers across the default
-// configurations and returns runs keyed by [scheduler][coreIndex].
-func fig1Sweep(quick bool) (map[string][]metrics.Run, []machine.Config, error) {
+// fig1Configs is the paper's x-axis: the default configuration per core
+// count, labeled by cores.
+func fig1Configs(quick bool) []grid.ConfigPoint {
 	configs := machine.DefaultSweep()
 	if quick {
 		configs = configs[:4] // 1..8 cores
 	}
-	var cells []cell
-	for _, cfg := range configs {
-		cells = append(cells, pairCells(cfg, fig1Spec(quick))...)
-	}
-	results, err := runCells(quick, cells)
-	if err != nil {
-		return nil, nil, err
-	}
-	runs := map[string][]metrics.Run{}
-	for i, c := range cells {
-		runs[c.sched] = append(runs[c.sched], results[i])
-	}
-	return runs, configs, nil
+	return coresPoints(configs)
 }
 
-func runFig1Misses(quick bool) (*Result, error) {
-	runs, configs, err := fig1Sweep(quick)
-	if err != nil {
-		return nil, err
-	}
-	t := report.New("Figure 1 (left): parallel merge sort, L2 misses per 1000 instructions",
-		"cores", "pdf", "ws", "ws/pdf")
-	t.Note = "paper shape: WS rises with cores; PDF stays near the 1-core line"
-	res := &Result{ID: "fig1-misses", Tables: []*report.Table{t}}
+// coresPoints labels each configuration with its core count — the row
+// label of every cores-axis table.
+func coresPoints(configs []machine.Config) []grid.ConfigPoint {
+	pts := make([]grid.ConfigPoint, len(configs))
 	for i, cfg := range configs {
-		p, w := runs["pdf"][i], runs["ws"][i]
-		t.AddRow(cfg.Cores, p.L2MPKI(), w.L2MPKI(), ratio(w.L2MPKI(), p.L2MPKI()))
-		res.Runs = append(res.Runs, p, w)
+		pts[i] = grid.ConfigPoint{Labels: []string{itoa(int64(cfg.Cores))}, Config: cfg}
 	}
-	return res, nil
+	return pts
 }
 
-func runFig1Speedup(quick bool) (*Result, error) {
-	runs, configs, err := fig1Sweep(quick)
-	if err != nil {
-		return nil, err
+func gridFig1Misses(quick bool) *grid.Grid {
+	return &grid.Grid{
+		ID:        "fig1-misses",
+		Title:     "Figure 1 (left): parallel merge sort, L2 misses per 1000 instructions",
+		Note:      "paper shape: WS rises with cores; PDF stays near the 1-core line",
+		Workloads: []grid.WorkloadPoint{{Spec: fig1Spec(quick)}},
+		Configs:   fig1Configs(quick),
+		Scheds:    pdfWS,
+		Rows:      []grid.Axis{grid.Config},
+		Cols: []grid.Column{
+			grid.Label("cores", grid.Config, 0),
+			grid.Col("pdf", grid.M("l2-mpki").AtSched("pdf")),
+			grid.Col("ws", grid.M("l2-mpki").AtSched("ws")),
+			grid.Col("ws/pdf", grid.Ratio(grid.M("l2-mpki").AtSched("ws"), grid.M("l2-mpki").AtSched("pdf"))),
+		},
 	}
-	t := report.New("Figure 1 (right): parallel merge sort, speedup over one core",
-		"cores", "pdf", "ws", "pdf/ws")
-	t.Note = "paper shape: both scale; PDF pulls ahead 1.3-1.6x at high core counts"
-	res := &Result{ID: "fig1-speedup", Tables: []*report.Table{t}}
-	for i, cfg := range configs {
-		p, w := runs["pdf"][i], runs["ws"][i]
-		sp := p.SpeedupOver(runs["pdf"][0])
-		sw := w.SpeedupOver(runs["ws"][0])
-		t.AddRow(cfg.Cores, sp, sw, ratio(sp, sw))
-		res.Runs = append(res.Runs, p, w)
-	}
-	return res, nil
 }
 
-func ratio(a, b float64) float64 {
-	if b == 0 {
-		return 0
+func gridFig1Speedup(quick bool) *grid.Grid {
+	// Speedup over one core is a ratio against the baseline cell: the same
+	// scheduler on the first machine point of the sweep.
+	speedup := func(sched string) *grid.Expr {
+		return grid.Ratio(grid.M("cycles").AtSched(sched).AtConfig(0), grid.M("cycles").AtSched(sched))
 	}
-	return a / b
+	return &grid.Grid{
+		ID:        "fig1-speedup",
+		Title:     "Figure 1 (right): parallel merge sort, speedup over one core",
+		Note:      "paper shape: both scale; PDF pulls ahead 1.3-1.6x at high core counts",
+		Workloads: []grid.WorkloadPoint{{Spec: fig1Spec(quick)}},
+		Configs:   fig1Configs(quick),
+		Scheds:    pdfWS,
+		Rows:      []grid.Axis{grid.Config},
+		Cols: []grid.Column{
+			grid.Label("cores", grid.Config, 0),
+			grid.Col("pdf", speedup("pdf")),
+			grid.Col("ws", speedup("ws")),
+			grid.Col("pdf/ws", grid.Ratio(speedup("pdf"), speedup("ws"))),
+		},
+	}
 }

@@ -1,40 +1,44 @@
 package exp
 
 import (
+	"repro/internal/grid"
 	"repro/internal/machine"
-	"repro/internal/report"
 	"repro/internal/workloads"
 )
 
-// classTable runs a set of workloads under PDF and WS on the given core
-// counts and tabulates relative speedup and off-chip traffic reduction —
-// the two numbers the paper's Finding 1 quotes (1.3-1.6x, 13-41%).
-func classTable(quick bool, id, title, note string, specs []workloads.Spec, coreCounts []int) (*Result, error) {
-	t := report.New(title,
-		"workload", "cores", "pdf cycles", "ws cycles", "pdf/ws speedup", "traffic reduction %")
-	t.Note = note
-	res := &Result{ID: id, Tables: []*report.Table{t}}
-	var cells []cell
-	for _, spec := range specs {
-		for _, cores := range coreCounts {
-			cells = append(cells, pairCells(machine.Default(cores), spec)...)
-		}
+// classGrid declares the shape the paper's Finding 1 and 2 tables share: a
+// set of workloads crossed with core counts, tabulating relative speedup
+// and off-chip traffic reduction — the two numbers Finding 1 quotes
+// (1.3-1.6x, 13-41%).
+func classGrid(id, title, note string, specs []workloads.Spec, coreCounts []int) *grid.Grid {
+	wps := make([]grid.WorkloadPoint, len(specs))
+	for i, s := range specs {
+		wps[i] = grid.WorkloadPoint{Labels: []string{s.Name}, Spec: s}
 	}
-	runs, err := runCells(quick, cells)
-	if err != nil {
-		return nil, err
+	configs := make([]machine.Config, len(coreCounts))
+	for i, c := range coreCounts {
+		configs[i] = machine.Default(c)
 	}
-	for i := 0; i < len(cells); i += 2 {
-		p, w := runs[i], runs[i+1]
-		t.AddRow(cells[i].spec.Name, cells[i].cfg.Cores, p.Cycles, w.Cycles,
-			ratio(float64(w.Cycles), float64(p.Cycles)),
-			100*p.TrafficReductionVs(w))
-		res.Runs = append(res.Runs, p, w)
+	return &grid.Grid{
+		ID:        id,
+		Title:     title,
+		Note:      note,
+		Workloads: wps,
+		Configs:   coresPoints(configs),
+		Scheds:    pdfWS,
+		Rows:      []grid.Axis{grid.Workload, grid.Config},
+		Cols: []grid.Column{
+			grid.Label("workload", grid.Workload, 0),
+			grid.Label("cores", grid.Config, 0),
+			grid.Col("pdf cycles", grid.M("cycles").AtSched("pdf")),
+			grid.Col("ws cycles", grid.M("cycles").AtSched("ws")),
+			grid.Col("pdf/ws speedup", grid.Ratio(grid.M("cycles").AtSched("ws"), grid.M("cycles").AtSched("pdf"))),
+			grid.Col("traffic reduction %", grid.PctLess(grid.M("offchip-bytes").AtSched("pdf"), grid.M("offchip-bytes").AtSched("ws"))),
+		},
 	}
-	return res, nil
 }
 
-func runT1DC(quick bool) (*Result, error) {
+func gridT1DC(quick bool) *grid.Grid {
 	specs := []workloads.Spec{
 		{Name: "mergesort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed},
 		{Name: "quicksort", N: sizing(1<<19, quick), Grain: 2048, Seed: Seed},
@@ -45,13 +49,13 @@ func runT1DC(quick bool) (*Result, error) {
 	if quick {
 		cores = []int{8}
 	}
-	return classTable(quick, "t1-dc",
+	return classGrid("t1-dc",
 		"Finding 1a: parallel divide-and-conquer programs, PDF vs WS",
 		"paper: relative speedup 1.3-1.6x, off-chip traffic reduced 13-41%",
 		specs, cores)
 }
 
-func runT1Irregular(quick bool) (*Result, error) {
+func gridT1Irregular(quick bool) *grid.Grid {
 	specs := []workloads.Spec{
 		// N sized so one column window (N/2 x-entries = 8*N/2 bytes) sits
 		// between L2/P and L2: resident for PDF's shared window, hopeless
@@ -66,13 +70,13 @@ func runT1Irregular(quick bool) (*Result, error) {
 	if quick {
 		cores = []int{8}
 	}
-	return classTable(quick, "t1-irregular",
+	return classGrid("t1-irregular",
 		"Finding 1b: bandwidth-limited irregular programs, PDF vs WS",
 		"paper: same bands as 1a — PDF wins via constructive sharing",
 		specs, cores)
 }
 
-func runT2Neutral(quick bool) (*Result, error) {
+func gridT2Neutral(quick bool) *grid.Grid {
 	specs := []workloads.Spec{
 		// Streaming, two touches per element: little exploitable reuse.
 		{Name: "scan", N: sizing(1<<21, quick), Grain: 4096, Seed: Seed},
@@ -85,7 +89,7 @@ func runT2Neutral(quick bool) (*Result, error) {
 	if quick {
 		cores = []int{8}
 	}
-	return classTable(quick, "t2-neutral",
+	return classGrid("t2-neutral",
 		"Finding 2: application classes where PDF and WS perform alike",
 		"paper: roughly equal execution times (limited reuse, or not bandwidth-bound)",
 		specs, cores)
@@ -106,38 +110,34 @@ func mat(n int) int {
 	}
 }
 
-func runT5Coarse(quick bool) (*Result, error) {
+func gridT5Coarse(quick bool) *grid.Grid {
 	n := sizing(1<<19, quick)
 	cores := 16
 	if quick {
 		cores = 8
 	}
 	cfg := machine.Default(cores)
-	t := report.New("Finding 3: fine-grained vs coarse-grained threading (mergesort, "+cfg.Name+")",
-		"variant", "sched", "cycles", "L2 MPKI", "pdf/ws speedup")
-	t.Note = "paper: coarse-grained SMP-style code cannot exploit constructive sharing"
-	res := &Result{ID: "t5-coarse", Tables: []*report.Table{t}}
-	variants := []struct {
-		label string
-		spec  workloads.Spec
-	}{
-		{"fine", workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}},
-		// Coarse: one task per core's worth of data, sequential merges.
-		{"coarse", workloads.Spec{Name: "mergesort-coarse", N: n, Grain: n / cores, Seed: Seed}},
+	return &grid.Grid{
+		ID:    "t5-coarse",
+		Title: "Finding 3: fine-grained vs coarse-grained threading (mergesort, " + cfg.Name + ")",
+		Note:  "paper: coarse-grained SMP-style code cannot exploit constructive sharing",
+		Workloads: []grid.WorkloadPoint{
+			{Labels: []string{"fine"}, Spec: workloads.Spec{Name: "mergesort", N: n, Grain: 2048, Seed: Seed}},
+			// Coarse: one task per core's worth of data, sequential merges.
+			{Labels: []string{"coarse"}, Spec: workloads.Spec{Name: "mergesort-coarse", N: n, Grain: n / cores, Seed: Seed}},
+		},
+		Configs: []grid.ConfigPoint{{Config: cfg}},
+		Scheds:  pdfWS,
+		// Scheduler on the rows: each variant prints a pdf and a ws row,
+		// with the cross-scheduler speedup rendered once, on the pdf row.
+		Rows: []grid.Axis{grid.Workload, grid.Sched},
+		Cols: []grid.Column{
+			grid.Label("variant", grid.Workload, 0),
+			grid.Label("sched", grid.Sched, 0),
+			grid.Col("cycles", grid.M("cycles")),
+			grid.Col("L2 MPKI", grid.M("l2-mpki")),
+			grid.ColOnly("pdf/ws speedup", "pdf",
+				grid.Ratio(grid.M("cycles").AtSched("ws"), grid.M("cycles").AtSched("pdf"))),
+		},
 	}
-	var cells []cell
-	for _, v := range variants {
-		cells = append(cells, pairCells(cfg, v.spec)...)
-	}
-	runs, err := runCells(quick, cells)
-	if err != nil {
-		return nil, err
-	}
-	for i, v := range variants {
-		p, w := runs[2*i], runs[2*i+1]
-		t.AddRow(v.label, "pdf", p.Cycles, p.L2MPKI(), ratio(float64(w.Cycles), float64(p.Cycles)))
-		t.AddRow(v.label, "ws", w.Cycles, w.L2MPKI(), "")
-		res.Runs = append(res.Runs, p, w)
-	}
-	return res, nil
 }

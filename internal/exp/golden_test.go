@@ -1,15 +1,23 @@
 package exp
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/rcache"
 )
 
-var update = flag.Bool("update", false, "rewrite the golden tables under testdata/")
+var (
+	update     = flag.Bool("update", false, "rewrite the golden tables under testdata/")
+	updateFull = flag.Bool("update-full", false, "rewrite testdata/fullsize.sha256 (simulates the FULL-SIZE suite: minutes, or set REPRO_FULLSIZE_CACHE to a warm -cache dir)")
+)
 
 // TestGoldenTables compares every quick-mode experiment table against the
 // checked-in expectation under testdata/, so numeric drift — a changed
@@ -53,5 +61,84 @@ func TestGoldenTables(t *testing.T) {
 					id, path, want, got)
 			}
 		})
+	}
+}
+
+// TestFullSizeChecksums pins the published numbers themselves: a SHA-256
+// per experiment over the exact bytes `sweep -exp <id>` writes to stdout at
+// full size, stored in testdata/fullsize.sha256 (sha256sum -c format, so
+// the nightly workflow checks its regenerated binary artifacts against the
+// same file — see .github/workflows/nightly.yml). Full-size simulation
+// takes minutes, so the test skips unless explicitly requested:
+//
+//	REPRO_FULLSIZE=1 go test ./internal/exp -run TestFullSizeChecksums   # verify
+//	go test ./internal/exp -run TestFullSizeChecksums -update-full       # regenerate
+//
+// Point REPRO_FULLSIZE_CACHE at a warm `sweep -cache` directory to amortize
+// either mode (only t4-multiprog, which bypasses the cell cache, still
+// simulates).
+func TestFullSizeChecksums(t *testing.T) {
+	verify := os.Getenv("REPRO_FULLSIZE") != ""
+	if !*updateFull && !verify {
+		t.Skip("full-size simulation (minutes); set REPRO_FULLSIZE=1 to verify or -update-full to regenerate")
+	}
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+	if dir := os.Getenv("REPRO_FULLSIZE_CACHE"); dir != "" {
+		store, err := rcache.Open(dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		Cache = store
+	} else {
+		Cache = rcache.NewMemory()
+	}
+
+	path := filepath.Join("testdata", "fullsize.sha256")
+	want := map[string]string{}
+	if verify {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/exp -run TestFullSizeChecksums -update-full` to create it)", err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			sum, name, ok := strings.Cut(line, "  ")
+			if !ok {
+				t.Fatalf("malformed checksum line %q", line)
+			}
+			want[name] = sum
+		}
+	}
+
+	var lines []string
+	for _, id := range IDs() {
+		res, err := Run(id, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Render exactly what `sweep -exp <id>` prints: one Println per
+		// table. The nightly drift check sha256sums those real-binary
+		// bytes against this file, so the encodings must agree.
+		var b bytes.Buffer
+		for _, tbl := range res.Tables {
+			fmt.Fprintln(&b, tbl)
+		}
+		sum := sha256.Sum256(b.Bytes())
+		hexSum := hex.EncodeToString(sum[:])
+		lines = append(lines, hexSum+"  "+id+".txt")
+		if verify {
+			if w, ok := want[id+".txt"]; !ok {
+				t.Errorf("%s: no pinned checksum (regenerate with -update-full)", id)
+			} else if w != hexSum {
+				t.Errorf("%s: full-size table drifted from its pinned checksum (%s != %s).\n"+
+					"If the change is intentional, regenerate with -update-full and review the table diff.",
+					id, hexSum, w)
+			}
+		}
+	}
+	if *updateFull {
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o666); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/rcache"
+)
+
+// testGrid returns a small user-style grid over the given core counts —
+// cells are tiny so these tests simulate in milliseconds.
+func testGrid(cores ...int) *grid.Grid {
+	d := &grid.Def{
+		Workload: []string{"mergesort"},
+		N:        []int{8192},
+		Grain:    []int{512},
+		Cores:    cores,
+	}
+	g, err := d.Resolve(Seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestOverlappingGridsDedupe pins the property that makes user grids cheap
+// to iterate on: two grids sharing cells share their simulations through
+// the cache's memory tier. The second grid's overlap must be all hits —
+// only its novel cells simulate.
+func TestOverlappingGridsDedupe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+	Cache = rcache.NewMemory()
+
+	a := testGrid(1, 2) // 2 configs x 2 scheds = 4 cells
+	b := testGrid(2, 4) // shares the 2 cores=2 cells with a
+
+	if _, err := RunGrid(a, false); err != nil {
+		t.Fatal(err)
+	}
+	st := Cache.Stats()
+	if st.Misses != 4 || st.Hits() != 0 {
+		t.Fatalf("first grid stats %+v: want 4 misses, 0 hits", st)
+	}
+	if _, err := RunGrid(b, false); err != nil {
+		t.Fatal(err)
+	}
+	st = Cache.Stats()
+	if st.Misses != 6 {
+		t.Fatalf("overlap re-simulated: %d misses, want 6 (4 + 2 novel)", st.Misses)
+	}
+	if st.Hits() != 2 {
+		t.Fatalf("overlap not served from cache: %d hits, want 2", st.Hits())
+	}
+}
+
+// TestGridWarmByteIdentical is the grid half of the cache guarantee: a
+// user grid rendered from a warm cache is byte-identical to its cold run,
+// at serial and parallel settings.
+func TestGridWarmByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+	defer func(old int) { Parallelism = old }(Parallelism)
+	Cache = rcache.NewMemory()
+
+	render := func() string {
+		res, err := RunGrid(testGrid(1, 2, 4), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Tables[0].String() + res.Tables[0].CSV()
+	}
+	Parallelism = 1
+	cold := render()
+	misses := Cache.Stats().Misses
+	Parallelism = 8
+	if warm := render(); warm != cold {
+		t.Fatalf("warm grid differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	if st := Cache.Stats(); st.Misses != misses {
+		t.Fatalf("warm grid re-simulated cells: %+v", st)
+	}
+}
+
+// TestRunGridValidates ensures an invalid grid errors before any cell
+// simulates.
+func TestRunGridValidates(t *testing.T) {
+	g := testGrid(2)
+	g.Scheds = []string{"nope"}
+	if _, err := RunGrid(g, false); err == nil {
+		t.Fatal("RunGrid accepted an invalid grid")
+	}
+}

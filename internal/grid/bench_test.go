@@ -1,0 +1,70 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// benchGrid builds a user-scale grid (4 workloads x 16 machine points x 2
+// schedulers = 128 cells) with the default projection — the declarative
+// layer's whole per-sweep cost is Validate + Cells + Project, measured here
+// without any simulation so the number is pure overhead.
+func benchGrid(b *testing.B) (*Grid, []metrics.Run) {
+	b.Helper()
+	d := &Def{
+		Workload: []string{"mergesort", "quicksort", "scan", "fft"},
+		N:        []int{65536},
+		Cores:    []int{1, 2, 4, 8},
+		L2:       []string{"512KiB", "1MiB", "2MiB", "4MiB"},
+		Speedup:  true,
+	}
+	g, err := d.Resolve(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := make([]metrics.Run, len(g.Cells()))
+	for i := range runs {
+		runs[i] = metrics.Run{Cycles: int64(i + 1), Instructions: 1000, L2Misses: int64(i)}
+	}
+	return g, runs
+}
+
+// BenchmarkGridOverhead measures the full declarative path for one sweep:
+// resolve nothing (the grid exists), validate, enumerate, project. Compare
+// against seconds of simulation per cell: the layer must be (and is)
+// thousands of times below the work it orchestrates.
+func BenchmarkGridOverhead(b *testing.B) {
+	g, runs := benchGrid(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		cells := g.Cells()
+		if len(cells) != len(runs) {
+			b.Fatal("cell count")
+		}
+		if _, err := g.Project(runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridResolve measures lowering a Def (the JSON/DSL form) to a
+// validated Grid — the extra cost a user grid pays over a registry grid.
+func BenchmarkGridResolve(b *testing.B) {
+	d := &Def{
+		Workload: []string{"mergesort", "quicksort", "scan", "fft"},
+		N:        []int{65536},
+		Cores:    []int{1, 2, 4, 8},
+		L2:       []string{"512KiB", "1MiB", "2MiB", "4MiB"},
+		Speedup:  true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Resolve(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package grid
+
+import "testing"
+
+// FuzzParseExpr feeds arbitrary strings through the -grid-expr front end:
+// parse, then resolve the parsed definition to a full grid, then validate
+// it. Any input may be rejected with an error; no input may panic —
+// rejecting is the contract, crashing is the bug (user input reaches this
+// path directly from the sweep command line).
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"workload=mergesort,fft;cores=1..32;sched=pdf,ws",
+		"workload=spmv;n=262144;iters=3;cores=16;bw=2..16,inf;metrics=cycles,bus-util",
+		"workload=mergesort;cores=8;l2=512KiB,1MiB,2MiB;speedup",
+		"workload=scan;cores=2;masked=0..12:4;rows=sched;seed=1,2",
+		"workload=hashjoin;cores=1,2,4;l2ways=8,16;title=t;note=n",
+		"cores=;;=;a=b;speedup=maybe;l2=..",
+		"workload=mergesort;cores=1..64:7;grain=256..4096",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseExpr(s)
+		if err != nil {
+			return
+		}
+		g, err := d.Resolve(20060730)
+		if err != nil {
+			return
+		}
+		// A resolved grid must be internally consistent: enumeration and
+		// validation cannot fail on it.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Resolve produced an invalid grid for %q: %v", s, err)
+		}
+		if len(g.Cells()) == 0 {
+			t.Fatalf("Resolve produced an empty grid for %q", s)
+		}
+	})
+}
+
+// FuzzParseDef does the same for the JSON front end.
+func FuzzParseDef(f *testing.F) {
+	f.Add([]byte(`{"workload":["mergesort"],"cores":[2,4]}`))
+	f.Add([]byte(`{"workload":["spmv"],"cores":[8],"l2":["512KiB"],"columns":[{"label":"cores"},{"header":"r","op":"ratio","num":{"metric":"cycles","sched":"ws"},"den":{"metric":"cycles","sched":"pdf"}}]}`))
+	f.Add([]byte(`{"workload":["scan"],"cores":[1],"rows":["sched"],"speedup":true}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseDef(data)
+		if err != nil {
+			return
+		}
+		g, err := d.Resolve(1)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Resolve produced an invalid grid for %q: %v", data, err)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// randomGrid builds a structurally valid grid with pseudo-random axis sizes
+// from a seeded source — the generator for the enumeration properties.
+func randomGrid(r *rand.Rand) *Grid {
+	nw, nc, ns := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(3)
+	g := &Grid{ID: "prop", Title: "prop"}
+	for i := 0; i < nw; i++ {
+		g.Workloads = append(g.Workloads, WorkloadPoint{
+			Labels: []string{fmt.Sprintf("w%d", i)},
+			Spec:   workloads.Spec{Name: "mergesort", N: 4096 * (i + 1), Grain: 256, Seed: uint64(i)},
+		})
+	}
+	for i := 0; i < nc; i++ {
+		g.Configs = append(g.Configs, ConfigPoint{
+			Labels: []string{fmt.Sprintf("c%d", i)},
+			Config: machine.Default(1 << uint(i)),
+		})
+	}
+	g.Scheds = []string{"pdf", "ws", "fifo"}[:ns]
+	g.Rows = []Axis{Workload, Config}
+	g.Cols = []Column{Label("w", Workload, 0)}
+	return g
+}
+
+// TestCellsCanonicalOrder is the enumeration property: for any grid, Cells
+// is deterministic (two enumerations are equal) and canonical — cell i is
+// exactly the (workload-major, config, sched-minor) tuple cellIndex maps to
+// i, so independent processes enumerate identical batches.
+func TestCellsCanonicalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(20060730))
+	for trial := 0; trial < 100; trial++ {
+		g := randomGrid(r)
+		cells := g.Cells()
+		if want := len(g.Workloads) * len(g.Configs) * len(g.Scheds); len(cells) != want {
+			t.Fatalf("trial %d: %d cells, want %d", trial, len(cells), want)
+		}
+		again := g.Cells()
+		for i := range cells {
+			if cells[i] != again[i] {
+				t.Fatalf("trial %d: enumeration not deterministic at %d", trial, i)
+			}
+		}
+		i := 0
+		for wi, w := range g.Workloads {
+			for ci, c := range g.Configs {
+				for si, s := range g.Scheds {
+					if g.cellIndex(wi, ci, si) != i {
+						t.Fatalf("trial %d: cellIndex(%d,%d,%d) != %d", trial, wi, ci, si, i)
+					}
+					if cells[i].Spec != w.Spec || cells[i].Config != c.Config || cells[i].Sched != s {
+						t.Fatalf("trial %d: cell %d is not the canonical (%d,%d,%d) tuple", trial, i, wi, ci, si)
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+// TestRowPointsOrder pins row enumeration: the first Rows axis is
+// outermost, free axes sit at zero.
+func TestRowPointsOrder(t *testing.T) {
+	g := &Grid{
+		Workloads: make([]WorkloadPoint, 2),
+		Configs:   make([]ConfigPoint, 3),
+		Scheds:    []string{"pdf", "ws"},
+		Rows:      []Axis{Sched, Workload},
+	}
+	got := g.rowPoints()
+	want := []rowIdx{{0, 0, 0}, {1, 0, 0}, {0, 0, 1}, {1, 0, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("rows %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// fakeRuns fabricates distinguishable results for a 1-workload x 2-config x
+// 2-sched grid: cycles encode the cell coordinates.
+func fakeRuns() []metrics.Run {
+	runs := make([]metrics.Run, 4)
+	for c := 0; c < 2; c++ {
+		for s := 0; s < 2; s++ {
+			runs[c*2+s] = metrics.Run{
+				Cycles:       int64(1000 * (c + 1) * (s + 1)),
+				Instructions: 2000,
+				L2Misses:     int64(10 * (s + 1)),
+				OffchipBytes: int64(100 * (c + 1)),
+				Steals:       int64(c*2 + s),
+			}
+		}
+	}
+	return runs
+}
+
+func projectTestGrid() *Grid {
+	return &Grid{
+		ID:    "proj",
+		Title: "projection",
+		Workloads: []WorkloadPoint{
+			{Spec: workloads.Spec{Name: "mergesort", N: 4096, Grain: 256}},
+		},
+		Configs: []ConfigPoint{
+			{Labels: []string{"2"}, Config: machine.Default(2)},
+			{Labels: []string{"4"}, Config: machine.Default(4)},
+		},
+		Scheds: []string{"pdf", "ws"},
+		Rows:   []Axis{Config},
+		Cols: []Column{
+			Label("cores", Config, 0),
+			Col("pdf cycles", M("cycles").AtSched("pdf")),
+			Col("mpki ws", Per1k(M("l2-misses").AtSched("ws"))),
+			Col("ws/pdf", Ratio(M("cycles").AtSched("ws"), M("cycles").AtSched("pdf"))),
+			Col("traffic red %", PctLess(M("offchip-bytes").AtSched("pdf"), M("offchip-bytes").AtSched("ws"))),
+			Col("speedup pdf", Ratio(M("cycles").AtSched("pdf").AtConfig(0), M("cycles").AtSched("pdf"))),
+		},
+	}
+}
+
+// TestProjectDerivedColumns checks every column kind over fabricated runs:
+// labels, leaves, per1k, ratio, pct-less, and a baseline-cell pin.
+func TestProjectDerivedColumns(t *testing.T) {
+	g := projectTestGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := g.Project(fakeRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"cores,pdf cycles,mpki ws,ws/pdf,traffic red %,speedup pdf",
+		"2,1000,10.000,2.000,0.000,1.000",
+		"4,2000,10.000,2.000,0.000,0.500",
+		"",
+	}, "\n")
+	if got := tbl.CSV(); got != want {
+		t.Fatalf("projection CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestProjectOnlyGate checks the scheduler-gated column renders empty cells
+// on non-matching rows (the t5-coarse shape).
+func TestProjectOnlyGate(t *testing.T) {
+	g := projectTestGrid()
+	g.Rows = []Axis{Config, Sched}
+	g.Cols = []Column{
+		Label("cores", Config, 0),
+		Label("sched", Sched, 0),
+		Col("cycles", M("cycles")),
+		ColOnly("ws/pdf", "pdf", Ratio(M("cycles").AtSched("ws"), M("cycles").AtSched("pdf"))),
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := g.Project(fakeRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"cores,sched,cycles,ws/pdf",
+		"2,pdf,1000,2.000",
+		"2,ws,2000,",
+		"4,pdf,2000,2.000",
+		"4,ws,4000,",
+		"",
+	}, "\n")
+	if got := tbl.CSV(); got != want {
+		t.Fatalf("gated CSV:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := projectTestGrid
+	cases := map[string]func(*Grid){
+		"empty scheds":       func(g *Grid) { g.Scheds = nil },
+		"unknown sched":      func(g *Grid) { g.Scheds = []string{"pdf", "nope"} },
+		"unknown workload":   func(g *Grid) { g.Workloads[0].Spec.Name = "nope" },
+		"bad spec n":         func(g *Grid) { g.Workloads[0].Spec.N = 0 },
+		"bad config":         func(g *Grid) { g.Configs[0].Config.Cores = 0 },
+		"unknown row axis":   func(g *Grid) { g.Rows = []Axis{"bogus"} },
+		"duplicate row axis": func(g *Grid) { g.Rows = []Axis{Config, Config} },
+		"no columns":         func(g *Grid) { g.Cols = nil },
+		"label and expr":     func(g *Grid) { g.Cols[0].Expr = M("cycles") },
+		"label out of range": func(g *Grid) { g.Cols[0].Label.LI = 7 },
+		"unknown metric":     func(g *Grid) { g.Cols[1].Expr = M("bogus").AtSched("pdf") },
+		"unpinned free axis": func(g *Grid) { g.Cols[1].Expr = M("cycles") },
+		"pin out of range":   func(g *Grid) { g.Cols[1].Expr = M("cycles").AtSched("pdf").AtConfig(9) },
+		"pin unknown sched":  func(g *Grid) { g.Cols[1].Expr = M("cycles").AtSched("nope") },
+		"unknown op": func(g *Grid) {
+			g.Cols[3].Expr = &Expr{Op: "sum", Num: M("cycles").AtSched("pdf"), Den: M("cycles").AtSched("ws")}
+		},
+		"per1k non-leaf":     func(g *Grid) { g.Cols[2].Expr = Per1k(Ratio(M("cycles").AtSched("pdf"), M("cycles").AtSched("ws"))) },
+		"leaf with op":       func(g *Grid) { e := M("cycles").AtSched("pdf"); e.Op = "ratio"; g.Cols[1].Expr = e },
+		"only unknown sched": func(g *Grid) { g.Cols[1].Only = "nope" },
+		"only without sched on rows": func(g *Grid) {
+			// Valid scheduler, but sched is not a row axis: the gate would
+			// silently render always-empty (or never gate) cells.
+			g.Cols[1].Only = "ws"
+		},
+		"empty expr":        func(g *Grid) { g.Cols[1].Expr = &Expr{} },
+		"ratio missing den": func(g *Grid) { g.Cols[3].Expr = &Expr{Op: "ratio", Num: M("cycles").AtSched("pdf")} },
+	}
+	for name, mutate := range cases {
+		g := base()
+		mutate(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid grid", name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base grid must validate: %v", err)
+	}
+}
+
+func TestProjectRunCountMismatch(t *testing.T) {
+	g := projectTestGrid()
+	if _, err := g.Project(fakeRuns()[:3]); err == nil {
+		t.Fatal("Project accepted a short run slice")
+	}
+}

@@ -1,0 +1,227 @@
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExpr parses the one-line grid DSL `sweep -grid-expr` accepts into a
+// Def. The language is semicolon-separated key=value clauses whose values
+// are comma-separated lists:
+//
+//	workload=mergesort,fft;cores=1..32;sched=pdf,ws
+//	workload=spmv;n=262144;iters=3;cores=16;bw=2..16;metrics=cycles,bus-util
+//	workload=mergesort;cores=8;l2=512KiB,1MiB,2MiB;speedup
+//
+// Integer lists accept ranges: `a..b` doubles from a to b (1..32 is
+// 1,2,4,8,16,32 — the repository's axes are power-of-two shaped), and
+// `a..b:s` steps linearly by s (0..12:4 is 0,4,8,12). `bw` accepts `inf`
+// for infinite bandwidth. `speedup` is a bare flag; `rows=sched` moves the
+// scheduler axis onto the rows; `title=` sets the table title (no commas).
+// The result is resolved and validated exactly like a JSON grid file.
+func ParseExpr(s string) (*Def, error) {
+	d := &Def{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if !ok {
+			if key == "speedup" {
+				d.Speedup = true
+				continue
+			}
+			return nil, fmt.Errorf("grid: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "workload":
+			d.Workload = splitList(val)
+		case "sched":
+			d.Sched = splitList(val)
+		case "metrics":
+			d.Metrics = splitList(val)
+		case "rows":
+			d.Rows = splitList(val)
+		case "l2":
+			d.L2 = splitList(val)
+		case "n":
+			d.N, err = parseIntList(key, val)
+		case "grain":
+			d.Grain, err = parseIntList(key, val)
+		case "iters":
+			d.Iters, err = parseIntList(key, val)
+		case "cores":
+			d.Cores, err = parseIntList(key, val)
+		case "l2ways":
+			d.L2Ways, err = parseIntList(key, val)
+		case "masked":
+			d.Masked, err = parseIntList(key, val)
+		case "seed":
+			d.Seed, err = parseUintList(key, val)
+		case "bw":
+			d.BW, err = parseBWList(val)
+		case "speedup":
+			d.Speedup, err = parseBool(val)
+		case "title":
+			d.Title = val
+		case "note":
+			d.Note = val
+		default:
+			return nil, fmt.Errorf("grid: unknown key %q (valid: workload, n, grain, iters, seed, cores, l2, l2ways, bw, masked, sched, metrics, rows, speedup, title, note)", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// maxListLen bounds range expansion: a typo like 1..1000000:1 should error,
+// not allocate.
+const maxListLen = 4096
+
+func parseIntList(key, s string) ([]int, error) {
+	var out []int
+	for _, item := range splitList(s) {
+		vals, err := expandRange(key, item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+		if len(out) > maxListLen {
+			return nil, fmt.Errorf("grid: %s list longer than %d values", key, maxListLen)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("grid: %s= needs at least one value", key)
+	}
+	return out, nil
+}
+
+// expandRange expands one list item: a plain integer, `a..b` (doubling), or
+// `a..b:s` (linear step s).
+func expandRange(key, item string) ([]int, error) {
+	lohi, stepStr, hasStep := strings.Cut(item, ":")
+	lo, hi, isRange := strings.Cut(lohi, "..")
+	if !isRange {
+		if hasStep {
+			return nil, fmt.Errorf("grid: %s=%s: a step needs a range (a..b:s)", key, item)
+		}
+		v, err := strconv.Atoi(item)
+		if err != nil {
+			return nil, fmt.Errorf("grid: %s=%s: not an integer", key, item)
+		}
+		return []int{v}, nil
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return nil, fmt.Errorf("grid: %s=%s: bad range start", key, item)
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil {
+		return nil, fmt.Errorf("grid: %s=%s: bad range end", key, item)
+	}
+	if b < a {
+		return nil, fmt.Errorf("grid: %s=%s: range end below start", key, item)
+	}
+	var out []int
+	if hasStep {
+		step, err := strconv.Atoi(strings.TrimSpace(stepStr))
+		if err != nil || step <= 0 {
+			return nil, fmt.Errorf("grid: %s=%s: step must be a positive integer", key, item)
+		}
+		for v := a; v <= b; v += step {
+			out = append(out, v)
+			if len(out) > maxListLen {
+				return nil, fmt.Errorf("grid: %s=%s: range longer than %d values", key, item, maxListLen)
+			}
+		}
+		return out, nil
+	}
+	if a <= 0 {
+		return nil, fmt.Errorf("grid: %s=%s: a doubling range needs a positive start (use a..b:s to step)", key, item)
+	}
+	for v := a; v <= b; v *= 2 {
+		out = append(out, v)
+		if len(out) > maxListLen {
+			return nil, fmt.Errorf("grid: %s=%s: range longer than %d values", key, item, maxListLen)
+		}
+	}
+	return out, nil
+}
+
+func parseUintList(key, s string) ([]uint64, error) {
+	var out []uint64
+	for _, item := range splitList(s) {
+		v, err := strconv.ParseUint(item, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("grid: %s=%s: not an unsigned integer", key, item)
+		}
+		out = append(out, v)
+		if len(out) > maxListLen {
+			return nil, fmt.Errorf("grid: %s list longer than %d values", key, maxListLen)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("grid: %s= needs at least one value", key)
+	}
+	return out, nil
+}
+
+func parseBWList(s string) ([]float64, error) {
+	var out []float64
+	for _, item := range splitList(s) {
+		if item == "inf" {
+			out = append(out, 0)
+			continue
+		}
+		// Ranges double like the integer axes: bw=2..16 is 2,4,8,16.
+		if strings.Contains(item, "..") {
+			vals, err := expandRange("bw", item)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vals {
+				out = append(out, float64(v))
+			}
+			continue
+		}
+		v, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return nil, fmt.Errorf("grid: bw=%s: not a number (or 'inf')", item)
+		}
+		out = append(out, v)
+		if len(out) > maxListLen {
+			return nil, fmt.Errorf("grid: bw list longer than %d values", maxListLen)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("grid: bw= needs at least one value")
+	}
+	return out, nil
+}
+
+func parseBool(s string) (bool, error) {
+	switch s {
+	case "", "1", "true", "yes", "on":
+		return true, nil
+	case "0", "false", "no", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("grid: speedup=%s: not a boolean", s)
+}

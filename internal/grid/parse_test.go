@@ -1,0 +1,89 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseExpr(t *testing.T) {
+	d, err := ParseExpr("workload=mergesort,fft; cores=1..32; sched=pdf,ws; n=65536; speedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Workload, []string{"mergesort", "fft"}) {
+		t.Fatalf("workload %v", d.Workload)
+	}
+	if !reflect.DeepEqual(d.Cores, []int{1, 2, 4, 8, 16, 32}) {
+		t.Fatalf("doubling range %v", d.Cores)
+	}
+	if !d.Speedup || d.N[0] != 65536 {
+		t.Fatalf("flags %+v", d)
+	}
+}
+
+func TestParseExprLinearRange(t *testing.T) {
+	d, err := ParseExpr("workload=mergesort;cores=2;masked=0..12:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Masked, []int{0, 4, 8, 12}) {
+		t.Fatalf("linear range %v", d.Masked)
+	}
+}
+
+func TestParseExprBW(t *testing.T) {
+	d, err := ParseExpr("workload=mergesort;cores=2;bw=2..8,inf,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.BW, []float64{2, 4, 8, 0, 0.5}) {
+		t.Fatalf("bw %v", d.BW)
+	}
+}
+
+func TestParseExprMixedListAndSeed(t *testing.T) {
+	d, err := ParseExpr("workload=scan;cores=1,4..16;seed=1,2;l2=512KiB,1MiB;title=my sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Cores, []int{1, 4, 8, 16}) {
+		t.Fatalf("cores %v", d.Cores)
+	}
+	if !reflect.DeepEqual(d.Seed, []uint64{1, 2}) || d.Title != "my sweep" {
+		t.Fatalf("seed/title %+v", d)
+	}
+	if !reflect.DeepEqual(d.L2, []string{"512KiB", "1MiB"}) {
+		t.Fatalf("l2 %v", d.L2)
+	}
+}
+
+func TestParseExprRejects(t *testing.T) {
+	cases := []string{
+		"workload",                         // bare non-flag key
+		"bogus=1",                          // unknown key
+		"cores=x",                          // not an integer
+		"cores=4..2",                       // descending range
+		"cores=0..8",                       // doubling from zero
+		"cores=1..8:0",                     // zero step
+		"cores=1..8:-2",                    // negative step
+		"cores=5:3",                        // step without range
+		"cores=1..1000000:1",               // list cap
+		"cores=",                           // empty list
+		"seed=-1",                          // negative unsigned
+		"bw=fast",                          // bad float
+		"speedup=maybe",                    // bad bool
+		"workload=mergesort;cores=1..2..3", // malformed range
+	}
+	for _, in := range cases {
+		if _, err := ParseExpr(in); err == nil {
+			t.Errorf("ParseExpr(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseExprEmptyClausesOK(t *testing.T) {
+	d, err := ParseExpr(";;workload=mergesort;;cores=2;")
+	if err != nil || len(d.Workload) != 1 {
+		t.Fatalf("empty clauses: %v %+v", err, d)
+	}
+}

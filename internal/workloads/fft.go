@@ -21,10 +21,7 @@ import (
 // level just produced, so it is the paper's divide-and-conquer class:
 // constructive sharing keeps that between-level reuse inside the shared L2.
 func buildFFT(s Spec) *Instance {
-	n := s.N
-	if n&(n-1) != 0 || n < 2 {
-		panic(fmt.Sprintf("workloads: fft N=%d must be a power of two >= 2", n))
-	}
+	n := s.N // power of two >= 2, enforced by shapeErr before dispatch
 	grain := s.Grain
 	if grain < 4 {
 		grain = 4

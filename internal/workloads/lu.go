@@ -21,12 +21,9 @@ import (
 // shrinking frontier.
 func buildLU(s Spec) *Instance {
 	n := s.N
-	b := leafDim(s.Grain)
+	b := leafDim(s.Grain) // n divisible by the tile, enforced by shapeErr
 	if b > n {
 		b = n
-	}
-	if n%b != 0 {
-		panic(fmt.Sprintf("workloads: lu N=%d not divisible by tile %d", n, b))
 	}
 	nb := n / b
 

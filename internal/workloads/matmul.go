@@ -20,10 +20,7 @@ import (
 // bandwidth limited and PDF ≈ WS on execution time (Finding 2, second
 // case) — while PDF still shrinks the instantaneous working set.
 func buildMatmul(s Spec) *Instance {
-	n := s.N
-	if n&(n-1) != 0 {
-		panic(fmt.Sprintf("workloads: matmul N=%d must be a power of two", n))
-	}
+	n := s.N // power of two, enforced by shapeErr before dispatch
 	leaf := leafDim(s.Grain)
 	if leaf > n {
 		leaf = n

@@ -48,3 +48,39 @@ func TestSpecFingerprintStable(t *testing.T) {
 		t.Fatalf("equal specs, unequal fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
 	}
 }
+
+// TestSpecValidate pins the user-input gate: anything Validate accepts
+// must Build without panicking, and the shape constraints Build enforces
+// (fft/matmul power-of-two, lu tile divisibility) must be caught here —
+// cmpsim and sweep grids rely on "validated specs never panic".
+func TestSpecValidate(t *testing.T) {
+	valid := []Spec{
+		{Name: "mergesort", N: 4096, Grain: 256},
+		{Name: "fft", N: 1024, Grain: 256},
+		{Name: "matmul", N: 64, Grain: 256},
+		{Name: "lu", N: 192, Grain: 256},
+		{Name: "spmv", N: 4096, Grain: 256, Iters: 2},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", s, err)
+			continue
+		}
+		Build(s) // must not panic
+	}
+	invalid := []Spec{
+		{Name: "nope", N: 4096, Grain: 256},
+		{Name: "mergesort", N: 0, Grain: 256},
+		{Name: "mergesort", N: 4096, Grain: 0},
+		{Name: "mergesort", N: 4096, Grain: 256, Iters: -1},
+		{Name: "fft", N: 1000, Grain: 256},
+		{Name: "fft", N: 1, Grain: 256},
+		{Name: "matmul", N: 192, Grain: 256},
+		{Name: "lu", N: 100, Grain: 256},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%v: Validate accepted an invalid spec", s)
+		}
+	}
+}

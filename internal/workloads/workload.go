@@ -27,6 +27,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -124,8 +125,63 @@ var (
 // the total nanoseconds they took.
 func BuildCount() (n, nanos int64) { return builds.Load(), buildNanos.Load() }
 
+// Validate is the error-returning gate for user-supplied specs (cmpsim
+// flags, sweep grids): a known name, positive N and Grain, non-negative
+// Iters. Build still panics on violations — experiment-table specs are
+// trusted; user input goes through here first, mirroring core.Lookup.
+func (s Spec) Validate() error {
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == s.Name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("workloads: unknown workload %q (valid: %s)", s.Name, strings.Join(names, ", "))
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("workloads: %s: n must be positive, got %d", s.Name, s.N)
+	}
+	if s.Grain <= 0 {
+		return fmt.Errorf("workloads: %s: grain must be positive, got %d", s.Name, s.Grain)
+	}
+	if s.Iters < 0 {
+		return fmt.Errorf("workloads: %s: iters must be non-negative, got %d", s.Name, s.Iters)
+	}
+	return shapeErr(s)
+}
+
+// shapeErr returns the per-workload shape constraint s violates, if any.
+// This is the single source of those constraints: Build panics on it (its
+// callers are trusted), Spec.Validate returns it (user input), so a spec
+// that validates can never panic the builder.
+func shapeErr(s Spec) error {
+	switch s.Name {
+	case "fft":
+		if s.N < 2 || s.N&(s.N-1) != 0 {
+			return fmt.Errorf("workloads: fft N=%d must be a power of two >= 2", s.N)
+		}
+	case "matmul":
+		if s.N&(s.N-1) != 0 {
+			return fmt.Errorf("workloads: matmul N=%d must be a power of two", s.N)
+		}
+	case "lu":
+		b := leafDim(s.Grain)
+		if b > s.N {
+			b = s.N
+		}
+		if s.N%b != 0 {
+			return fmt.Errorf("workloads: lu N=%d not divisible by tile %d", s.N, b)
+		}
+	}
+	return nil
+}
+
 // Build constructs the named workload. It panics on unknown names or
-// malformed parameters — Specs are experiment-table input, not user input.
+// malformed parameters — Specs are experiment-table input, not user input
+// (callers with user input validate with Spec.Validate first).
 func Build(s Spec) *Instance {
 	start := time.Now()
 	in := build(s)
@@ -143,6 +199,9 @@ func build(s Spec) *Instance {
 	}
 	if s.Grain <= 0 {
 		s.Grain = 1024
+	}
+	if err := shapeErr(s); err != nil {
+		panic(err.Error())
 	}
 	switch s.Name {
 	case "mergesort":

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix introduces an audited suppression comment:
+//
+//	//repro:allow <analyzer> <reason>
+//
+// placed either on the flagged line itself (trailing) or on the line
+// directly above it. The analyzer name must be one of the suite's and the
+// reason is mandatory — a suppression without a recorded why is exactly the
+// unreviewable debt this mechanism exists to prevent.
+const AllowPrefix = "//repro:allow"
+
+// An Allow is one parsed suppression annotation.
+type Allow struct {
+	Pos      token.Pos // position of the comment
+	Line     int       // line the comment sits on
+	File     string    // file name (from the FileSet)
+	Analyzer string    // analyzer it suppresses
+	Reason   string    // audited justification (never empty once validated)
+	used     bool      // set when a diagnostic matched it
+}
+
+// collectAllows scans the comments of files for //repro:allow annotations.
+// Malformed annotations — unknown analyzer, missing reason — are reported as
+// diagnostics (attributed to the pseudo-analyzer "allow") and excluded from
+// the returned set, so a typo can never silently suppress a real finding.
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*Allow {
+	var allows []*Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //repro:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(Diagnostic{Pos: c.Pos(), Analyzer: "allow",
+						Message: "malformed " + AllowPrefix + ": missing analyzer name and reason (want \"" + AllowPrefix + " <analyzer> <reason>\")"})
+					continue
+				}
+				name := fields[0]
+				if ByName(name) == nil {
+					report(Diagnostic{Pos: c.Pos(), Analyzer: "allow",
+						Message: "malformed " + AllowPrefix + ": unknown analyzer " + name + " (valid: " + analyzerNames() + ")"})
+					continue
+				}
+				if len(fields) < 2 {
+					report(Diagnostic{Pos: c.Pos(), Analyzer: "allow",
+						Message: "malformed " + AllowPrefix + " " + name + ": a reason is required — suppressions must be audited"})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allows = append(allows, &Allow{
+					Pos:      c.Pos(),
+					Line:     pos.Line,
+					File:     pos.Filename,
+					Analyzer: name,
+					Reason:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name)),
+				})
+			}
+		}
+	}
+	return allows
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Filter applies //repro:allow suppression to diags: a diagnostic is dropped
+// when an annotation for its analyzer sits on the same line or the line
+// above. Malformed annotations are appended as fresh diagnostics. When
+// unusedAllows is set, every annotation that suppressed nothing is also
+// reported — the self-audit that keeps the inventory of suppressions live
+// (wire -unused-allows into CI and a fixed finding cannot leave its
+// annotation behind).
+//
+// The returned slice is sorted by position for deterministic output.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, unusedAllows bool) []Diagnostic {
+	var out []Diagnostic
+	allows := collectAllows(fset, files, func(d Diagnostic) { out = append(out, d) })
+
+	// Index by file:line for the two permitted placements.
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]*Allow{}
+	for _, a := range allows {
+		byLine[key{a.File, a.Line}] = append(byLine[key{a.File, a.Line}], a)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, a := range byLine[key{pos.Filename, line}] {
+				if a.Analyzer == d.Analyzer {
+					a.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	if unusedAllows {
+		for _, a := range allows {
+			if !a.used {
+				out = append(out, Diagnostic{Pos: a.Pos, Analyzer: "allow",
+					Message: "unused " + AllowPrefix + " " + a.Analyzer + ": no " + a.Analyzer + " finding on this or the next line — the suppressed code is gone, delete the annotation"})
+			}
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out
+}
+
+// Allows returns the parsed, well-formed annotations in files — the
+// greppable inventory of accepted determinism debt (reprolint -allows).
+func Allows(fset *token.FileSet, files []*ast.File) []*Allow {
+	return collectAllows(fset, files, func(Diagnostic) {})
+}

@@ -1,0 +1,152 @@
+package lint_test
+
+// Unit tests for the //repro:allow pipeline itself: malformed annotations
+// are rejected as diagnostics (never silently suppress), unused annotations
+// are reported when asked, and the -allows inventory parses reasons.
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"go/ast"
+
+	"repro/internal/lint"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func messages(diags []lint.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func TestMalformedAllowsAreDiagnostics(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//repro:allow
+func a() {}
+
+//repro:allow nosuchanalyzer because reasons
+func b() {}
+
+//repro:allow detrand
+func c() {}
+
+//repro:allowance detrand not ours, ignored
+func d() {}
+`)
+	got := lint.Filter(fset, files, nil, false)
+	want := []string{
+		"missing analyzer name and reason",
+		"unknown analyzer nosuchanalyzer",
+		"a reason is required",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %q, want %d", len(got), messages(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Analyzer != "allow" {
+			t.Errorf("diagnostic %d attributed to %q, want the allow pseudo-analyzer", i, got[i].Analyzer)
+		}
+		if !strings.Contains(got[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, got[i].Message, w)
+		}
+	}
+}
+
+func TestMalformedAllowDoesNotSuppress(t *testing.T) {
+	// A diagnostic on the line after a malformed annotation must survive:
+	// a typo can never silently suppress a real finding.
+	fset, files := parseSrc(t, `package p
+
+//repro:allow detrand
+func a() {}
+`)
+	diag := lint.Diagnostic{Pos: files[0].Decls[0].Pos(), Analyzer: "detrand", Message: "synthetic finding"}
+	got := lint.Filter(fset, files, []lint.Diagnostic{diag}, false)
+	found := false
+	for _, d := range got {
+		if d.Message == "synthetic finding" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("malformed annotation suppressed a finding; got %q", messages(got))
+	}
+}
+
+func TestUnusedAllowReported(t *testing.T) {
+	src := `package p
+
+//repro:allow detrand telemetry only, honest
+func a() {}
+`
+	fset, files := parseSrc(t, src)
+	if got := lint.Filter(fset, files, nil, false); len(got) != 0 {
+		t.Fatalf("without -unused-allows: got %q, want none", messages(got))
+	}
+	got := lint.Filter(fset, files, nil, true)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "unused //repro:allow detrand") {
+		t.Fatalf("with -unused-allows: got %q, want one unused-annotation diagnostic", messages(got))
+	}
+}
+
+func TestAllowSuppressesSameLineAndLineAbove(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//repro:allow detrand reason above
+var a = 1
+
+var b = 2 //repro:allow detrand reason trailing
+`)
+	var aPos, bPos token.Pos
+	for _, d := range files[0].Decls {
+		gd := d.(*ast.GenDecl)
+		switch gd.Specs[0].(*ast.ValueSpec).Names[0].Name {
+		case "a":
+			aPos = gd.Pos()
+		case "b":
+			bPos = gd.Pos()
+		}
+	}
+	diags := []lint.Diagnostic{
+		{Pos: aPos, Analyzer: "detrand", Message: "finding on a"},
+		{Pos: bPos, Analyzer: "detrand", Message: "finding on b"},
+		{Pos: bPos, Analyzer: "maporder", Message: "wrong analyzer, must survive"},
+	}
+	got := lint.Filter(fset, files, diags, true)
+	if len(got) != 1 || got[0].Analyzer != "maporder" {
+		t.Fatalf("got %q, want only the maporder finding to survive", messages(got))
+	}
+}
+
+func TestAllowsInventory(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//repro:allow tokenhold known worker-budget idle spot (ROADMAP item)
+func a() {}
+`)
+	allows := lint.Allows(fset, files)
+	if len(allows) != 1 {
+		t.Fatalf("got %d allows, want 1", len(allows))
+	}
+	if allows[0].Analyzer != "tokenhold" {
+		t.Errorf("Analyzer = %q, want tokenhold", allows[0].Analyzer)
+	}
+	if want := "known worker-budget idle spot (ROADMAP item)"; allows[0].Reason != want {
+		t.Errorf("Reason = %q, want %q", allows[0].Reason, want)
+	}
+}

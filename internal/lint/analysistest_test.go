@@ -1,0 +1,147 @@
+package lint_test
+
+// The analyzer suites, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest: each testdata/src/<pkg>
+// directory is loaded as one package (LoadDir resolves its imports through
+// the toolchain, so testdata can import real module packages like
+// repro/internal/runner) and run through a single analyzer plus
+// //repro:allow filtering. Expected findings are declared in the source as
+// trailing comments on the flagged line:
+//
+//	code() // want `regexp`
+//
+// Every diagnostic must match a want expectation on its line and every
+// expectation must be consumed; suites with suppressions run with
+// unused-allow reporting on, so each annotation must really absorb a
+// finding.
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// override swaps a package-level configuration variable (DetPackages,
+// TokenPackages, …) for one test and returns the restore func.
+func override[T any](p *T, v T) func() {
+	old := *p
+	*p = v
+	return func() { *p = old }
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantQuoted extracts the quoted patterns of a `// want` comment: backquoted
+// or double-quoted Go string literals, each one regexp.
+var wantQuoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func wantExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantQuoted.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (no quoted pattern): %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// runCase loads testdata/src/<pkg> with <pkg> as its import path, runs one
+// analyzer, applies //repro:allow filtering, and matches the surviving
+// diagnostics against the package's want comments.
+func runCase(t *testing.T, pkg string, a *lint.Analyzer, unusedAllows bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	target, err := lint.LoadDir(fset, filepath.Join("testdata", "src", pkg), pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	diags, err := lint.RunAnalyzers(fset, target, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+	diags = lint.Filter(fset, target.Files, diags, unusedAllows)
+
+	exps := wantExpectations(t, fset, target.Files)
+matching:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, e := range exps {
+			if !e.met && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.met = true
+				continue matching
+			}
+		}
+		t.Errorf("unexpected diagnostic at %s:%d: %s [%s]", filepath.Base(pos.Filename), pos.Line, d.Message, d.Analyzer)
+	}
+	for _, e := range exps {
+		if !e.met {
+			t.Errorf("missing diagnostic at %s:%d matching %v", filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+func TestDetrand(t *testing.T) {
+	defer override(&lint.DetPackages, append([]string{"detrandpos"}, lint.DetPackages...))()
+	runCase(t, "detrandpos", lint.DetrandAnalyzer, false)
+}
+
+func TestDetrandAllowSuppression(t *testing.T) {
+	defer override(&lint.DetPackages, append([]string{"detrandallow"}, lint.DetPackages...))()
+	runCase(t, "detrandallow", lint.DetrandAnalyzer, true)
+}
+
+func TestDetrandIgnoresNonCriticalPackages(t *testing.T) {
+	// detrandclean is NOT added to DetPackages: its wall-clock reads must
+	// produce no findings at all.
+	runCase(t, "detrandclean", lint.DetrandAnalyzer, false)
+}
+
+func TestMaporder(t *testing.T) {
+	runCase(t, "maporderpos", lint.MaporderAnalyzer, false)
+}
+
+func TestFpcomplete(t *testing.T) {
+	runCase(t, "fppos", lint.FpcompleteAnalyzer, true)
+}
+
+func TestTokenholdBlockingWaits(t *testing.T) {
+	defer override(&lint.TokenPackages, append([]string{"tokenwaits"}, lint.TokenPackages...))()
+	runCase(t, "tokenwaits", lint.TokenholdAnalyzer, true)
+}
+
+func TestTokenholdWorkerCallbacks(t *testing.T) {
+	runCase(t, "tokenfanout", lint.TokenholdAnalyzer, false)
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetrandAnalyzer forbids ambient nondeterminism in determinism-critical
+// packages (DetPackages): every cell the simulator runs must be a pure
+// function of its fingerprinted identity, so any value drawn from the wall
+// clock, the environment, the process RNG, or the runtime's select shuffle
+// either breaks byte-identical output or — worse — silently varies state
+// that the cache key does not capture, poisoning the content-addressed
+// store.
+//
+// Flagged in non-test files of DetPackages:
+//
+//   - importing math/rand or math/rand/v2 (use repro/internal/xprng, whose
+//     streams are seeded from the cell identity);
+//   - calls to time.Now, time.Since, time.Until;
+//   - calls to os.Getenv, os.LookupEnv, os.Environ;
+//   - select statements with two or more channel cases: when several are
+//     ready the runtime chooses uniformly at random, so control flow
+//     diverges run to run.
+//
+// Telemetry that genuinely wants the wall clock (and provably never reaches
+// simulation state, output, or keys) carries a //repro:allow detrand
+// annotation with that reason.
+var DetrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock, environment, math/rand, and select nondeterminism in determinism-critical packages",
+	Run:  runDetrand,
+}
+
+// detrandCalls maps forbidden package-level functions to the remedy named in
+// the diagnostic.
+var detrandCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "derive durations from simulated cycles, or annotate telemetry with //repro:allow detrand",
+		"Since": "derive durations from simulated cycles, or annotate telemetry with //repro:allow detrand",
+		"Until": "derive durations from simulated cycles, or annotate telemetry with //repro:allow detrand",
+	},
+	"os": {
+		"Getenv":    "thread configuration through explicit parameters so it is part of the cell identity",
+		"LookupEnv": "thread configuration through explicit parameters so it is part of the cell identity",
+		"Environ":   "thread configuration through explicit parameters so it is part of the cell identity",
+	},
+}
+
+func runDetrand(pass *Pass) error {
+	if !inList(pass.Pkg.Path(), DetPackages) {
+		return nil
+	}
+	for _, f := range pass.nonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if path, err := strconv.Unquote(n.Path.Value); err == nil {
+					if path == "math/rand" || path == "math/rand/v2" {
+						pass.Reportf(n.Pos(), "determinism-critical package imports %s; use %s (streams seeded from the cell identity)", path, XPRNGPackage)
+					}
+				}
+			case *ast.CallExpr:
+				if pkg, name := resolvePkgFunc(pass.TypesInfo, n.Fun); pkg != "" {
+					if remedy, ok := detrandCalls[pkg][name]; ok {
+						pass.Reportf(n.Pos(), "%s.%s in a determinism-critical package: %s", pkg, name, remedy)
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d channel cases chooses uniformly at random when several are ready; restructure so control flow cannot depend on the runtime's shuffle", comm)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resolvePkgFunc returns the ("pkgpath-less" package name is not enough —
+// resolve through the type checker) import path and name of the package-level
+// function fun calls, or "" if fun is not a selector onto an imported
+// package's function.
+func resolvePkgFunc(info *types.Info, fun ast.Expr) (pkgPath, name string) {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return "", ""
+	}
+	// Only package-qualified calls (time.Now), not method calls on values.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return obj.Pkg().Path(), obj.Name()
+		}
+	}
+	return "", ""
+}

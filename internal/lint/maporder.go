@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MaporderAnalyzer flags `range` over a map whose loop body lets the
+// iteration order escape: Go randomizes map iteration per run, so order
+// reaching an appended slice, an output writer, or a hash turns into
+// run-to-run diff noise — or, when it feeds a fingerprint, into a corrupted
+// content-addressed cache key that can never be replayed.
+//
+// Flagged, in non-test files of every package:
+//
+//   - append to a slice declared outside the loop, unless a sort of that
+//     slice follows in the same statement list (the canonical
+//     collect-sort-iterate fix is recognized and stays clean);
+//   - calls that write output or feed a hash from inside the loop body:
+//     fmt.Print*/Fprint*, io.WriteString, builtin print/println, and any
+//     method named Write, WriteString, WriteByte, WriteRune, or Fingerprint;
+//   - channel sends (a receiver observes map order).
+//
+// Commutative bodies — counting, summing, building another map, picking a
+// min/max by a total order — are not flagged: order never escapes them.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose nondeterministic order escapes into slices, output, or hashes",
+	Run:  runMaporder,
+}
+
+// sinkMethods are method names that emit bytes in call order; feeding them
+// from inside a map range makes the emission order nondeterministic.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fingerprint": true,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.nonTestFiles() {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, rs, append([]ast.Node(nil), stack...))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	following := followingStmts(rs, stack)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call.Fun) || i >= len(n.Lhs) {
+					continue
+				}
+				target := n.Lhs[i]
+				if !declaredOutside(pass, target, rs) {
+					continue
+				}
+				if sortedIn(pass, target, following) {
+					continue // collect-then-sort: the canonical fix
+				}
+				pass.Reportf(n.Pos(),
+					"map iteration order escapes through append to %s, which is never sorted afterwards; iterate sorted keys instead (or sort %s before it is used)",
+					types.ExprString(target), types.ExprString(target))
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s called inside map iteration: emission order is nondeterministic map order; iterate sorted keys instead", name)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration publishes values in nondeterministic map order; iterate sorted keys instead")
+		}
+		return true
+	})
+}
+
+// followingStmts returns the statements after rs in its innermost enclosing
+// statement list (block, case, or comm clause), where the canonical
+// collect-sort-iterate pattern places its sort call.
+func followingStmts(rs *ast.RangeStmt, stack []ast.Node) []ast.Stmt {
+	// The statement whose position in the list we need: rs itself, or a
+	// labeled statement wrapping it.
+	var target ast.Stmt = rs
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch n := stack[i].(type) {
+		case *ast.LabeledStmt:
+			target = n
+			continue
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return nil
+		}
+		for j, s := range list {
+			if s == target {
+				return list[j+1:]
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// isBuiltinAppend reports whether fun denotes the predeclared append.
+func isBuiltinAppend(pass *Pass, fun ast.Expr) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether the append target lives beyond the range
+// statement: an identifier declared outside rs, or any selector/index
+// expression (fields and elements escape by construction). Loop-local
+// accumulators cannot leak iteration order past the loop on their own.
+func declaredOutside(pass *Pass, target ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return true // s.items, m[k], *p — escapes the loop
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// sortedIn reports whether any statement in following (recursively) sorts
+// target: a call into package sort or slices mentioning the same object, or
+// a Sort method call on it.
+func sortedIn(pass *Pass, target ast.Expr, following []ast.Stmt) bool {
+	obj := exprObject(pass, target)
+	str := types.ExprString(target)
+	for _, s := range following {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if isSortCall(pass, call.Fun) {
+				for _, arg := range call.Args {
+					if exprMentions(pass, arg, obj, str) {
+						found = true
+						return false
+					}
+				}
+			}
+			// x.Sort() style.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Sort") {
+				if exprMentions(pass, sel.X, obj, str) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall reports whether fun denotes a function from package sort or
+// slices (sort.Strings, sort.Slice, slices.Sort, slices.SortFunc, …).
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	pkg, _ := resolvePkgFunc(pass.TypesInfo, fun)
+	return pkg == "sort" || pkg == "slices"
+}
+
+// sinkCall classifies calls that emit bytes or text in call order. It
+// returns a display name and true when call is such a sink.
+func sinkCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Builtin print/println.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+			return b.Name(), true
+		}
+	}
+	if pkg, name := resolvePkgFunc(pass.TypesInfo, fun); pkg != "" {
+		if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			return "fmt." + name, true
+		}
+		if pkg == "io" && name == "WriteString" {
+			return "io.WriteString", true
+		}
+		return "", false
+	}
+	// Method sinks: w.Write, h.WriteString, b.WriteByte, x.Fingerprint, …
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Type().(*types.Signature).Recv() != nil {
+			if sinkMethods[sel.Sel.Name] {
+				return types.ExprString(sel.X) + "." + sel.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// exprObject returns the object an identifier expression denotes, or nil.
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[id]
+	}
+	return nil
+}
+
+// exprMentions reports whether e references obj (when non-nil) or renders to
+// the same source text as str (the fallback for selector targets).
+func exprMentions(pass *Pass, e ast.Expr, obj types.Object, str string) bool {
+	if obj != nil {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+	return strings.Contains(types.ExprString(e), str)
+}

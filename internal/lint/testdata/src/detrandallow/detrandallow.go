@@ -1,0 +1,20 @@
+// Package detrandallow mirrors the telemetry pattern in
+// repro/internal/workloads: wall-clock reads that never reach simulation
+// state, output, or cache keys, suppressed by audited //repro:allow
+// annotations in both permitted placements (line above, same line). The
+// harness runs it with unused-allow reporting on, so every annotation here
+// must also be consumed by a real finding.
+package detrandallow
+
+import "time"
+
+var buildNanos int64
+
+func build() {
+	//repro:allow detrand build-wall-time telemetry: feeds only a benchmark counter, never simulation state or keys
+	start := time.Now()
+	work()
+	buildNanos += time.Since(start).Nanoseconds() //repro:allow detrand build-wall-time telemetry: same counter as above
+}
+
+func work() {}

@@ -1,0 +1,13 @@
+// Package detrandclean uses the wall clock freely. The harness loads it
+// WITHOUT listing it in DetPackages: detrand polices only
+// determinism-critical packages, so nothing here may be flagged.
+package detrandclean
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Home() string { return os.Getenv("HOME") }

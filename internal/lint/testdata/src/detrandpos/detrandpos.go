@@ -1,0 +1,50 @@
+// Package detrandpos exercises every finding class of the detrand analyzer.
+// The test harness lists this package in DetPackages, so all ambient
+// nondeterminism below must be flagged.
+package detrandpos
+
+import (
+	"math/rand" // want `determinism-critical package imports math/rand`
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now()    // want `time\.Now in a determinism-critical package`
+	d := time.Since(t) // want `time\.Since in a determinism-critical package`
+	return t.UnixNano() + int64(d)
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until in a determinism-critical package`
+}
+
+func env() string {
+	v, _ := os.LookupEnv("REPRO_MODE") // want `os\.LookupEnv in a determinism-critical package`
+	return v + os.Getenv("HOME")       // want `os\.Getenv in a determinism-critical package`
+}
+
+func draw() int {
+	return rand.Intn(10) // only the import is flagged; the call site is not
+}
+
+func race(a, b chan int) int {
+	select { // want `select with 2 channel cases chooses uniformly at random`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// A single-case select is deterministic and stays clean.
+func single(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// Durations derived from explicit parameters are fine: time the package, not
+// the wall clock.
+func scale(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,56 @@
+// Package fppos exercises the fpcomplete analyzer: Fingerprint methods that
+// omit receiver fields (flagged, naming the fields) next to complete ones,
+// embedded-field coverage through promotion, and a deliberate exclusion
+// carrying an audited //repro:allow.
+package fppos
+
+import "strconv"
+
+type Config struct {
+	Cores  int
+	Cache  int
+	secret string
+}
+
+func (c Config) Fingerprint() string { // want `Fingerprint of Config omits field secret`
+	return strconv.Itoa(c.Cores) + "/" + strconv.Itoa(c.Cache)
+}
+
+type Pair struct{ A, B, C int }
+
+func (p *Pair) Fingerprint() string { // want `Fingerprint of \*Pair omits fields B, C`
+	return strconv.Itoa(p.A)
+}
+
+// Complete: every field referenced. Clean.
+type Full struct{ X, Y int }
+
+func (f Full) Fingerprint() string {
+	return strconv.Itoa(f.X) + "," + strconv.Itoa(f.Y)
+}
+
+// Selecting a promoted field (o.N) covers both the embedded field and the
+// promoted leaf. Clean.
+type Inner struct{ N int }
+
+type Outer struct {
+	Inner
+	M int
+}
+
+func (o Outer) Fingerprint() string {
+	return strconv.Itoa(o.N) + ":" + strconv.Itoa(o.M)
+}
+
+// A field deliberately excluded from the identity carries an audited
+// annotation on the method. Suppressed; the harness runs with unused-allow
+// reporting on, so the annotation must really be consumed.
+type Partial struct {
+	Key  int
+	note string
+}
+
+//repro:allow fpcomplete note is display-only metadata and can never affect simulation state
+func (p Partial) Fingerprint() string {
+	return strconv.Itoa(p.Key)
+}

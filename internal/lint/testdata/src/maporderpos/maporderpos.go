@@ -1,0 +1,123 @@
+// Package maporderpos exercises the maporder analyzer: map iterations whose
+// nondeterministic order escapes (flagged) next to the commutative and
+// collect-sort-iterate shapes that must stay clean.
+package maporderpos
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Escapes: appended to a slice that is never sorted afterwards.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order escapes through append to keys`
+	}
+	return keys
+}
+
+// The canonical fix: collect, sort, iterate. Clean.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slices.Sort is recognized as the sort step too.
+func keysSlicesSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// A loop-local accumulator cannot leak iteration order past the loop.
+func localOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		tmp := []int{}
+		tmp = append(tmp, v)
+		n += len(tmp)
+	}
+	return n
+}
+
+// Appending through a field escapes by construction.
+type bag struct{ items []string }
+
+func (b *bag) fill(m map[string]int) {
+	for k := range m {
+		b.items = append(b.items, k) // want `map iteration order escapes through append to b\.items`
+	}
+}
+
+// Output sinks observe emission order.
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println called inside map iteration`
+	}
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString called inside map iteration`
+	}
+	return b.String()
+}
+
+type hasher struct{}
+
+func (hasher) Fingerprint(s string) string { return s }
+
+// Feeding a fingerprint from map order corrupts a content-addressed key.
+func fingerprintAll(m map[string]int, h hasher) string {
+	s := ""
+	for k := range m {
+		s += h.Fingerprint(k) // want `h\.Fingerprint called inside map iteration`
+	}
+	return s
+}
+
+// A receiver observes map order through a channel.
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// Commutative bodies — counting, summing, building another map, min by a
+// total order — never let order escape. Clean.
+func count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func minKey(m map[string]int) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// This file implements the `go vet -vettool` protocol: cmd/go hands the tool
+// a JSON config file describing one compilation unit (its source files, and
+// compiler export data for every dependency), the tool type-checks the unit
+// and prints diagnostics to stderr, exiting non-zero when it found any. The
+// protocol is the one golang.org/x/tools/go/analysis/unitchecker speaks; it
+// is re-implemented here on the standard library alone because this module
+// deliberately has zero dependencies (see package doc). cmd/reprolint also
+// answers the companion handshakes (-V=full for build caching, -flags for
+// flag discovery) in its main.
+//
+// Running under go vet means CI and developers use the identical binary and
+// identical analyzers, with go's build cache skipping packages whose inputs
+// have not changed.
+
+// vetConfig mirrors the JSON config cmd/go writes for a vet tool. Field
+// names and meanings follow cmd/go/internal/work's vetConfig.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // canonical package path → export data file
+	Standard                  map[string]bool
+	VetxOnly                  bool   // dependency pass: facts only, no diagnostics
+	VetxOutput                string // where to write the (empty) facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code: 0 clean, 1 findings, 2 internal error.
+// Diagnostics go to stderr (or stdout as JSON when jsonOut is set, matching
+// `go vet -json`).
+func VetUnit(cfgFile string, analyzers []*Analyzer, unusedAllows, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: cannot decode vet config %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// Always leave a facts file behind: cmd/go caches it and feeds it to
+	// dependent units. reprolint's analyzers are fact-free, so it is empty.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	t, err := typecheckVet(fset, imp, cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+
+	diags, err := RunAnalyzers(fset, t, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	diags = Filter(fset, NonTestFiles(fset, t.Files), diags, unusedAllows)
+	writeVetx()
+
+	if jsonOut {
+		PrintJSON(os.Stdout, fset, cfg.ID, diags)
+		return 0 // `go vet -json` reports findings via the stream, not the exit code
+	}
+	for _, d := range diags {
+		PrintPlain(os.Stderr, fset, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheckVet is typecheck() with the unit's import path and GoVersion
+// honored, as the compiler would.
+func typecheckVet(fset *token.FileSet, imp types.Importer, cfg *vetConfig, files []*ast.File) (*Target, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Path: cfg.ImportPath, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// PrintPlain renders one diagnostic the way vet does — file:line:col:
+// message — with the analyzer name appended so the reader knows what to cite
+// in a //repro:allow annotation.
+func PrintPlain(w io.Writer, fset *token.FileSet, d Diagnostic) {
+	fmt.Fprintf(w, "%v: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+}
+
+// PrintJSON renders diagnostics in the `go vet -json` tree shape:
+// {pkgID: {analyzer: [{posn, message}, …]}}.
+func PrintJSON(w io.Writer, fset *token.FileSet, pkgID string, diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+			jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tree := map[string]map[string][]jsonDiag{pkgID: {}}
+	for _, name := range names {
+		tree[pkgID][name] = byAnalyzer[name]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(tree)
+}

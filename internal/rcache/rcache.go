@@ -246,6 +246,7 @@ func (s *Store) Do(key Key, compute func() (metrics.Run, error)) (metrics.Run, e
 	if f, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.dedup.Add(1)
+		//repro:allow tokenhold known worker-budget idle spot (ROADMAP "cold cells" item): a singleflight waiter parks here holding its caller's budget token; fix direction is a lend-the-token protocol so the winner can use the waiter's core
 		<-f.done
 		return f.run, f.err
 	}

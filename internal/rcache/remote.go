@@ -204,5 +204,6 @@ func (r *remote) close() {
 		close(r.queue)
 	}
 	r.mu.Unlock()
+	//repro:allow tokenhold shutdown drain on the CLI main goroutine via Store.Close, after every Stream has returned — no budget token is held here
 	r.wg.Wait()
 }

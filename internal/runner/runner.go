@@ -214,6 +214,7 @@ func streamWorkers[T any](workers, limit int, jobs []Job[T], yield func(i int, v
 
 	var yerr error
 	for i := 0; i < n; i++ {
+		//repro:allow tokenhold known worker-budget idle spot (ROADMAP "cold cells" item): a nested Stream's caller drains results here while still holding the token its parent fan-out gave it; fix direction is lending that token to the pool or caller-participation in the work
 		r := <-slots[i]
 		if yerr != nil {
 			continue // draining only
@@ -222,6 +223,7 @@ func streamWorkers[T any](workers, limit int, jobs []Job[T], yield func(i int, v
 			cancelled.Store(true)
 		}
 	}
+	//repro:allow tokenhold bounded drain: every slot has been received, so all workers are past their last job and exiting; the wait is O(defer) and releases the tokens
 	wg.Wait()
 	return yerr
 }

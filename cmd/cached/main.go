@@ -15,9 +15,13 @@
 //
 // The HTTP surface (see internal/rcache's Server) is GET/HEAD/PUT on
 // /cache/<version>/<key> with ETag = "<key>" and conditional GET via
-// If-None-Match, plus GET /stats for counters. Entries are immutable and
-// content-addressed, so the server needs no coherence protocol: it is a
-// dumb byte store whose keys carry all the semantics.
+// If-None-Match, plus three side-band endpoints: GET /stats (counters as
+// JSON), GET /metrics (the same counters in Prometheus text exposition
+// format, for scrapers), and GET /healthz (liveness: 200 with uptime and
+// the live schema version — what CI waits on before starting clients).
+// Entries are immutable and content-addressed, so the server needs no
+// coherence protocol: it is a dumb byte store whose keys carry all the
+// semantics.
 //
 // The served directory is the same layout `sweep -cache DIR` writes, so an
 // existing local cache can be promoted to a shared one by pointing cached

@@ -8,7 +8,8 @@
 //	cmpsim -workload spmv -cache ~/.repro-cache     # reuse sweep's results
 //
 // cmpsim shares the result cache — and its flag wiring (-cache,
-// -cache-remote, -cache-stats, -cache-readonly) — with cmd/sweep: a cell
+// -cache-remote, -cache-stats, -cache-readonly) — and the unified -stats
+// telemetry dump with cmd/sweep: a cell
 // cmpsim runs is the same content-addressed cell a full-size sweep runs, so
 // either tool can serve the other's warm entries, locally or through a
 // shared cached server (cmd/cached). (Quick-mode sweep entries are a
@@ -30,6 +31,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rcache"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -47,6 +49,7 @@ func main() {
 		shape    = flag.Bool("shape", false, "print DAG shape statistics and exit")
 		attr     = flag.Bool("attr", false, "attribute off-chip traffic to the workload's arrays (bypasses -cache)")
 		timeline = flag.Bool("timeline", false, "dump the schedule as CSV (node,label,core,start,end) to stdout (bypasses -cache)")
+		stats    = flag.Bool("stats", false, "dump the unified telemetry registry (sim/rcache/wpool, Prometheus text format) to stderr on exit")
 	)
 	cli := rcache.RegisterCLI(flag.CommandLine, false)
 	flag.Parse()
@@ -99,6 +102,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cmpsim:", err)
 		os.Exit(1)
 	}
+	// The unified registry: the same families sweep -stats dumps, minus the
+	// layers a one-cell run never touches (runner, grid).
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		sim.RegisterMetrics(reg)
+		store.RegisterMetrics(reg)
+		exp.InstancePool.RegisterMetrics(reg)
+	}
 	key := rcache.KeyOf(cfg, spec, *sched, *seed, false)
 	r, err := store.Do(key, func() (metrics.Run, error) {
 		return exp.RunOneSeeded(cfg, spec, *sched, *seed)
@@ -112,6 +124,9 @@ func main() {
 	if cli.Stats {
 		fmt.Fprintln(os.Stderr, store.Stats())
 		fmt.Fprintln(os.Stderr, exp.InstancePool.Stats())
+	}
+	if reg != nil {
+		reg.WriteText(os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "FAILED:", err)

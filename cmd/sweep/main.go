@@ -64,6 +64,22 @@
 //	-cache-gc        prune entries from dead schema versions in DIR — and,
 //	                 with -cache-max-bytes N, LRU-evict down to the byte
 //	                 budget, reporting what was reclaimed — then exit
+//
+// Observability. Telemetry writes to stderr or to files, never stdout, so
+// tables stay byte-identical with any combination of these flags on or off
+// (see DESIGN.md, "Observability"):
+//
+//	-stats           dump the unified metric registry — runner, sim, grid,
+//	                 rcache, and instance-pool counters under one stable
+//	                 naming — in Prometheus text format on exit
+//	-trace-out FILE  record one JSON span per simulation cell (wall time
+//	                 split into cache-lookup / pool-acquire / build / reset /
+//	                 simulate / store phases, plus the resolving tier) and
+//	                 print a slowest-cells summary to stderr
+//	-cpuprofile FILE write a CPU profile whose samples carry (workload,
+//	                 config, sched) pprof labels, so `go tool pprof
+//	                 -tagfocus` isolates one cell's cost
+//	-memprofile FILE write a heap profile on exit
 package main
 
 import (
@@ -89,6 +105,10 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
 		gridFile = flag.String("grid", "", "run a user-authored grid definition (JSON file; see EXPERIMENTS.md) instead of -exp")
 		gridExpr = flag.String("grid-expr", "", "run a one-line grid, e.g. 'workload=mergesort,fft;cores=1..32;sched=pdf,ws' (schedulers: "+strings.Join(core.Names(), ", ")+")")
+		stats    = flag.Bool("stats", false, "dump the unified telemetry registry (runner/sim/grid/rcache/wpool, Prometheus text format) to stderr on exit")
+		traceOut = flag.String("trace-out", "", "write one JSON span per simulation cell (phase-split wall time) to `file` and print the slowest cells to stderr")
+		cpuOut   = flag.String("cpuprofile", "", "write a CPU profile to `file`; samples carry (workload, config, sched) pprof labels")
+		memOut   = flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
 	cli := rcache.RegisterCLI(flag.CommandLine, true)
 	flag.Parse()
@@ -134,6 +154,12 @@ func main() {
 	}
 	exp.Cache = store
 
+	tel, err := startTelemetry(*stats, *traceOut, *cpuOut, *memOut, store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
 	if userGrid != nil {
 		res, gerr := exp.RunGrid(userGrid, false)
 		// Same ordering as the registry path below: drain remote
@@ -143,6 +169,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, store.Stats())
 			fmt.Fprintln(os.Stderr, exp.InstancePool.Stats())
 		}
+		tel.finish()
 		if gerr != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", gerr)
 			os.Exit(1)
@@ -194,6 +221,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, store.Stats())
 		fmt.Fprintln(os.Stderr, exp.InstancePool.Stats())
 	}
+	tel.finish()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

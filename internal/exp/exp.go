@@ -7,13 +7,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rcache"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -38,6 +41,14 @@ var Parallelism = runtime.GOMAXPROCS(0)
 // is identical with the cache off, cold, or warm. Set it (like Parallelism)
 // before running experiments; cmd/sweep wires it to the -cache flags.
 var Cache *rcache.Store
+
+// Tracer, when non-nil, records one obs span per simulation cell run through
+// runCell: wall time split into cache-lookup / pool-acquire / build / reset /
+// simulate / store phases, plus the resolving outcome. The tracer only
+// observes — results and stdout are byte-identical with it on or off
+// (TestTraceByteIdentical) — so cmd/sweep can enable it per run via
+// -trace-out. Set (like Parallelism and Cache) before running experiments.
+var Tracer *obs.Tracer
 
 // InstancePool memoizes built workload instances below the cell cache: an
 // rcache miss still reuses the (reset) instance a sibling scheduler arm
@@ -74,12 +85,27 @@ func runCells(quick bool, cells []cell) ([]metrics.Run, error) {
 // Concurrent requests for the same key — e.g. fig1-misses and fig1-speedup
 // racing to the same mergesort cells under `sweep -exp all` — simulate once;
 // the cache's singleflight layer parks the latecomer on the first result.
-func runCell(c cell, quick bool) (metrics.Run, error) {
-	if Cache == nil {
-		return RunOne(c.cfg, c.spec, c.sched)
-	}
-	key := rcache.KeyOf(c.cfg, c.spec, c.sched, Seed, quick)
-	return Cache.Do(key, func() (metrics.Run, error) { return RunOne(c.cfg, c.spec, c.sched) })
+//
+// The cell runs under pprof labels naming its (workload, config, sched)
+// identity, so a CPU profile taken over a sweep (`sweep -cpuprofile`)
+// attributes samples to cells, and under a Tracer span (when tracing is on)
+// timing the execution phases.
+func runCell(c cell, quick bool) (r metrics.Run, err error) {
+	sp := Tracer.StartSpan(c.spec.String(), c.cfg.Name, c.sched, quick)
+	defer sp.Finish()
+	labels := pprof.Labels("workload", c.spec.Name, "config", c.cfg.Name, "sched", c.sched)
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		if Cache == nil {
+			sp.SetOutcome("uncached")
+			r, err = runOneSpan(c.cfg, c.spec, c.sched, Seed, sp)
+			return
+		}
+		key := rcache.KeyOf(c.cfg, c.spec, c.sched, Seed, quick)
+		r, err = Cache.DoSpan(key, sp, func() (metrics.Run, error) {
+			return runOneSpan(c.cfg, c.spec, c.sched, Seed, sp)
+		})
+	})
+	return r, err
 }
 
 // pairCells enumerates the pdf/ws cell pair for one (config, workload)
@@ -111,7 +137,16 @@ func RunOne(cfg machine.Config, spec workloads.Spec, sched string) (metrics.Run,
 // selection); cmd/cmpsim exposes the seed as a flag, experiments pin it to
 // Seed.
 func RunOneSeeded(cfg machine.Config, spec workloads.Spec, sched string, seed uint64) (metrics.Run, error) {
-	in := InstancePool.Acquire(spec)
+	return runOneSpan(cfg, spec, sched, seed, nil)
+}
+
+// runOneSpan is the span-carrying compute path: instance acquisition times
+// into the span's pool-acquire/build/reset phases (split by AcquireSpan) and
+// everything from arming through verification into its simulate phase.
+func runOneSpan(cfg machine.Config, spec workloads.Spec, sched string, seed uint64, sp *obs.Span) (metrics.Run, error) {
+	in := InstancePool.AcquireSpan(spec, sp)
+	endSim := sp.StartPhase(obs.PhaseSimulate)
+	defer endSim()
 	in.BeginRun()
 	s := core.ByName(sched, OverheadsOf(cfg), seed)
 	e := sim.New(cfg, in.Graph, s, nil)

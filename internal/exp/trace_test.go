@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rcache"
+)
+
+// TestTraceByteIdentical asserts the tracer's contract: it only observes.
+// Experiment output must be byte-identical with tracing off, tracing on
+// serially, and tracing on under a parallel cached run — and every collected
+// span must be well-formed: one per cell, outcome set, phase durations
+// summing to approximately the span's wall time (the slack is closure and
+// pprof-label bookkeeping, microseconds per cell).
+func TestTraceByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	defer func(old int) { Parallelism = old }(Parallelism)
+	defer func(old *rcache.Store) { Cache = old }(Cache)
+	defer func(old *obs.Tracer) { Tracer = old }(Tracer)
+
+	const id = "fig1-misses"
+	Tracer = nil
+	Cache = nil
+	Parallelism = 1
+	untraced := renderAll(t, id)
+
+	// Traced, serial, uncached: same bytes, spans with outcome "uncached".
+	Tracer = obs.NewTracer()
+	if got := renderAll(t, id); got != untraced {
+		t.Errorf("%s: traced serial output differs from untraced:\n--- untraced ---\n%s\n--- traced ---\n%s",
+			id, untraced, got)
+	}
+	serialSpans := Tracer.Len()
+	if serialSpans == 0 {
+		t.Fatal("tracer collected no spans")
+	}
+	checkSpans(t, Tracer, "uncached-serial", false)
+
+	// Traced, parallel, cached (cold then warm in one pass thanks to the two
+	// fig1 panels sharing cells): same bytes, one span per cell, keys set.
+	Tracer = obs.NewTracer()
+	Cache = rcache.NewMemory()
+	Parallelism = 8
+	if got := renderAll(t, id); got != untraced {
+		t.Errorf("%s: traced parallel cached output differs from untraced", id)
+	}
+	if Tracer.Len() != serialSpans {
+		t.Errorf("parallel cached run collected %d spans, serial %d — want one per cell either way",
+			Tracer.Len(), serialSpans)
+	}
+	checkSpans(t, Tracer, "cached-parallel", true)
+
+	// The JSONL wire form round-trips what the tracer holds.
+	var buf bytes.Buffer
+	if err := Tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != Tracer.Len() {
+		t.Errorf("trace file has %d records, tracer %d spans", len(decoded), Tracer.Len())
+	}
+}
+
+// checkSpans validates every collected span: identity fields present,
+// outcome recorded, and phase durations that partition the span total up to
+// a small per-cell bookkeeping slack.
+func checkSpans(t *testing.T, tr *obs.Tracer, label string, keyed bool) {
+	t.Helper()
+	const slack = int64(20 * time.Millisecond)
+	for i, rec := range tr.Records() {
+		if rec.Workload == "" || rec.Config == "" || rec.Sched == "" {
+			t.Errorf("%s span %d: incomplete identity %+v", label, i, rec)
+		}
+		if rec.Outcome == "" {
+			t.Errorf("%s span %d: no outcome", label, i)
+		}
+		if keyed && rec.Key == "" {
+			t.Errorf("%s span %d: cached run recorded no cache key", label, i)
+		}
+		var sum int64
+		for _, v := range rec.PhaseNs() {
+			if v < 0 {
+				t.Errorf("%s span %d: negative phase duration %d", label, i, v)
+			}
+			sum += v
+		}
+		if sum > rec.TotalNs {
+			t.Errorf("%s span %d: phase sum %d exceeds total %d", label, i, sum, rec.TotalNs)
+		}
+		if rec.TotalNs-sum > slack {
+			t.Errorf("%s span %d (%s): phases sum to %d of %d ns — more than bookkeeping slack unaccounted",
+				label, i, rec.Outcome, sum, rec.TotalNs)
+		}
+	}
+}

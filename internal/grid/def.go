@@ -181,6 +181,7 @@ func (d *Def) Resolve(defaultSeed uint64) (*Grid, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	defsResolved.Add(1)
 	return g, nil
 }
 

@@ -261,6 +261,7 @@ func (g *Grid) Cells() []Cell {
 			}
 		}
 	}
+	cellsEnumerated.Add(int64(len(cells)))
 	return cells
 }
 

@@ -1,0 +1,25 @@
+package grid
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Process-wide grid telemetry: how many scenario definitions were lowered
+// and how many cells those grids fanned out into. grid is a
+// determinism-policed package — plain counters only, nothing observable from
+// grid output.
+var (
+	defsResolved    atomic.Int64
+	cellsEnumerated atomic.Int64
+)
+
+// RegisterMetrics exposes grid resolution totals on a registry as the
+// grid_* family.
+func RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("grid_defs_resolved_total", "", "scenario grid definitions lowered to validated grids",
+		func() int64 { return defsResolved.Load() })
+	r.CounterFunc("grid_cells_enumerated_total", "", "simulation cells enumerated from resolved grids",
+		func() int64 { return cellsEnumerated.Load() })
+}

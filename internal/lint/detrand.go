@@ -24,9 +24,11 @@ import (
 //     ready the runtime chooses uniformly at random, so control flow
 //     diverges run to run.
 //
-// Telemetry that genuinely wants the wall clock (and provably never reaches
-// simulation state, output, or keys) carries a //repro:allow detrand
-// annotation with that reason.
+// Telemetry that genuinely wants the wall clock reads it through the
+// sanctioned clock (ClockPackage — obs.Now/obs.Since), whose contract is
+// that clock values feed telemetry only, never simulation state, output, or
+// keys; the analyzer does not flag those calls. A raw time.Now that cannot
+// migrate carries a //repro:allow detrand annotation with its reason.
 var DetrandAnalyzer = &Analyzer{
 	Name: "detrand",
 	Doc:  "forbid wall-clock, environment, math/rand, and select nondeterminism in determinism-critical packages",
@@ -37,9 +39,9 @@ var DetrandAnalyzer = &Analyzer{
 // the diagnostic.
 var detrandCalls = map[string]map[string]string{
 	"time": {
-		"Now":   "derive durations from simulated cycles, or annotate telemetry with //repro:allow detrand",
-		"Since": "derive durations from simulated cycles, or annotate telemetry with //repro:allow detrand",
-		"Until": "derive durations from simulated cycles, or annotate telemetry with //repro:allow detrand",
+		"Now":   "derive durations from simulated cycles, or read telemetry wall time through " + ClockPackage + " (obs.Now/obs.Since — telemetry-only by contract)",
+		"Since": "derive durations from simulated cycles, or read telemetry wall time through " + ClockPackage + " (obs.Now/obs.Since — telemetry-only by contract)",
+		"Until": "derive durations from simulated cycles, or read telemetry wall time through " + ClockPackage + " (obs.Now/obs.Since — telemetry-only by contract)",
 	},
 	"os": {
 		"Getenv":    "thread configuration through explicit parameters so it is part of the cell identity",

@@ -135,6 +135,14 @@ var RunnerPackage = "repro/internal/runner"
 // points to in its messages.
 const XPRNGPackage = "repro/internal/xprng"
 
+// ClockPackage is the sanctioned telemetry clock detrand points to for wall
+// time: obs.Now/obs.Since read time for counters, spans, and benchmark
+// reporting, and the obs package's contract is that clock values flow into
+// telemetry only — never simulation state, output tables, or cache keys.
+// Det-policed code that wants wall time migrates to it instead of carrying
+// a //repro:allow detrand annotation on a raw time.Now.
+const ClockPackage = "repro/internal/obs"
+
 func inList(path string, list []string) bool {
 	for _, p := range list {
 		if p == path {

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// TextContentType is the HTTP Content-Type of the registry's rendering —
+// the Prometheus text exposition format cmd/cached's /metrics serves.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// A Registry holds named metrics and renders them in one stable text form:
+// families sorted by name, samples within a family sorted by label set, the
+// Prometheus exposition format. Both interactive stderr dumps (`sweep
+// -stats`) and the /metrics endpoint are this one rendering, so operators
+// and scrapers always read the same numbers under the same names.
+//
+// Metrics come in two shapes: owned instruments (Counter, Gauge, Histogram)
+// that callers mutate directly, and collector functions (CounterFunc,
+// GaugeFunc) that sample an existing source — the shape used to absorb the
+// pre-existing rcache/wpool/runner atomics without rewriting them. Every
+// metric is registered under a family name plus an optional fixed label
+// set, e.g. ("rcache_hits_total", `tier="mem"`); registering the same
+// (name, labels) twice, or one name under two types or help strings,
+// panics — metric identity is a programming contract, not user input.
+//
+// All methods are safe for concurrent use; instruments update lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: its metadata and the labeled members.
+type family struct {
+	name, help, typ string
+	members         []member
+}
+
+// member is one registered metric within a family, identified by its fixed
+// label set. collect appends its current samples.
+type member struct {
+	labels  string
+	collect func(name, labels string, out []sample) []sample
+}
+
+// sample is one exposition line: name+suffix{labels} value.
+type sample struct {
+	name   string // family name plus suffix (_bucket, _sum, _count)
+	labels string // rendered label pairs, "" for none
+	value  float64
+	isInt  bool // render without float formatting (counters)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register validates and inserts one member, panicking on identity
+// violations (duplicate name+labels, or a name re-registered with different
+// type or help).
+func (r *Registry) register(name, labels, help, typ string, collect func(name, labels string, out []sample) []sample) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	} else if f.typ != typ || f.help != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s %q (was %s %q)", name, typ, help, f.typ, f.help))
+	}
+	for _, m := range f.members {
+		if m.labels == labels {
+			panic(fmt.Sprintf("obs: metric %q{%s} registered twice", name, labels))
+		}
+	}
+	f.members = append(f.members, member{labels: labels, collect: collect})
+}
+
+// validMetricName enforces the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// A Counter is a monotonically increasing integer instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns an owned counter.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.register(name, labels, help, "counter", func(name, labels string, out []sample) []sample {
+		return append(out, sample{name: name, labels: labels, value: float64(c.v.Load()), isInt: true})
+	})
+	return c
+}
+
+// CounterFunc registers a counter whose value is sampled from f at render
+// time — the adapter that exposes pre-existing atomics (rcache, wpool,
+// runner counters) without rewriting their owners.
+func (r *Registry) CounterFunc(name, labels, help string, f func() int64) {
+	r.register(name, labels, help, "counter", func(name, labels string, out []sample) []sample {
+		return append(out, sample{name: name, labels: labels, value: float64(f()), isInt: true})
+	})
+}
+
+// A Gauge is an instrument whose value can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers and returns an owned gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, labels, help, "gauge", func(name, labels string, out []sample) []sample {
+		return append(out, sample{name: name, labels: labels, value: float64(g.v.Load()), isInt: true})
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from f at render time.
+func (r *Registry) GaugeFunc(name, labels, help string, f func() float64) {
+	r.register(name, labels, help, "gauge", func(name, labels string, out []sample) []sample {
+		return append(out, sample{name: name, labels: labels, value: f()})
+	})
+}
+
+// A Histogram counts observations into cumulative buckets. Observations and
+// rendering are lock-free; the float sum is maintained by compare-and-swap
+// on its bit pattern.
+type Histogram struct {
+	bounds  []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DurationBuckets is the default bucket ladder for phase and cell
+// durations, in seconds: 1 ms to 64 s, quadrupling. Cold cells sit in the
+// 0.25–16 s range on this suite; warm lookups land in the first bucket.
+var DurationBuckets = []float64{0.001, 0.004, 0.016, 0.064, 0.25, 1, 4, 16, 64}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Histogram registers and returns an owned histogram with the given bucket
+// upper bounds (strictly increasing; a +Inf bucket is implicit).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Int64, len(bounds))}
+	r.register(name, labels, help, "histogram", func(name, labels string, out []sample) []sample {
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			out = append(out, sample{
+				name:   name + "_bucket",
+				labels: joinLabels(labels, `le="`+formatValue(b, false)+`"`),
+				value:  float64(cum),
+				isInt:  true,
+			})
+		}
+		// Clamp the +Inf bucket to at least the last cumulative count: an
+		// Observe racing this render may have ticked a bucket before the
+		// total, and exposition buckets must stay monotone.
+		total := h.count.Load()
+		if total < cum {
+			total = cum
+		}
+		out = append(out, sample{name: name + "_bucket", labels: joinLabels(labels, `le="+Inf"`), value: float64(total), isInt: true})
+		out = append(out, sample{name: name + "_sum", labels: labels, value: math.Float64frombits(h.sumBits.Load())})
+		out = append(out, sample{name: name + "_count", labels: labels, value: float64(total), isInt: true})
+		return out
+	})
+	return h
+}
+
+// joinLabels concatenates two rendered label fragments.
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// formatValue renders a sample value. Integer-valued metrics render as
+// plain integers; everything else uses the shortest exact float form, which
+// every Prometheus parser accepts.
+func formatValue(v float64, isInt bool) string {
+	if isInt && v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format: families sorted by name, each preceded by its # HELP
+// and # TYPE lines, members sorted by label set. The rendering is stable —
+// the same registry state always produces the same bytes — which is what
+// lets a golden test pin the format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the member lists under the lock; collection itself runs
+	// outside it so a collector may take its owner's locks freely.
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		members := append([]member(nil), f.members...)
+		sort.Slice(members, func(i, j int) bool { return members[i].labels < members[j].labels })
+		var samples []sample
+		for _, m := range members {
+			samples = m.collect(f.name, m.labels, samples)
+		}
+		for _, s := range samples {
+			line := s.name
+			if s.labels != "" {
+				line += "{" + s.labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", line, formatValue(s.value, s.isInt)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

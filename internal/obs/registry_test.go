@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the text rendering exactly: family ordering,
+// HELP/TYPE lines, label rendering, histogram bucket cumulation, and value
+// formatting. /metrics consumers and the -stats stderr dump both read this
+// format, so it must not drift silently.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("repro_cells_total", "", "cells executed")
+	c.Add(41)
+	c.Inc()
+	r.CounterFunc("rcache_hits_total", `tier="mem"`, "cache hits by tier", func() int64 { return 7 })
+	r.CounterFunc("rcache_hits_total", `tier="disk"`, "cache hits by tier", func() int64 { return 3 })
+	g := r.Gauge("runner_tokens_in_use", "", "budget tokens held")
+	g.Set(5)
+	g.Add(-2)
+	r.GaugeFunc("wpool_idle_bytes", "", "idle instance bytes", func() float64 { return 1.5e6 })
+	h := r.Histogram("phase_seconds", `phase="build"`, "phase wall time", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(2.5)
+
+	want := `# HELP phase_seconds phase wall time
+# TYPE phase_seconds histogram
+phase_seconds_bucket{phase="build",le="0.01"} 1
+phase_seconds_bucket{phase="build",le="0.1"} 3
+phase_seconds_bucket{phase="build",le="1"} 3
+phase_seconds_bucket{phase="build",le="+Inf"} 4
+phase_seconds_sum{phase="build"} 2.605
+phase_seconds_count{phase="build"} 4
+# HELP rcache_hits_total cache hits by tier
+# TYPE rcache_hits_total counter
+rcache_hits_total{tier="disk"} 3
+rcache_hits_total{tier="mem"} 7
+# HELP repro_cells_total cells executed
+# TYPE repro_cells_total counter
+repro_cells_total 42
+# HELP runner_tokens_in_use budget tokens held
+# TYPE runner_tokens_in_use gauge
+runner_tokens_in_use 3
+# HELP wpool_idle_bytes idle instance bytes
+# TYPE wpool_idle_bytes gauge
+wpool_idle_bytes 1.5e+06
+`
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	// Rendering must be idempotent — a second scrape of unchanged state
+	// produces identical bytes.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Error("two renders of unchanged state differ")
+	}
+}
+
+func TestRegistryIdentityViolationsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"duplicate name+labels", func(r *Registry) {
+			r.Counter("x_total", "", "x")
+			r.Counter("x_total", "", "x")
+		}},
+		{"same name different type", func(r *Registry) {
+			r.Counter("x_total", "", "x")
+			r.Gauge("x_total", `a="b"`, "x")
+		}},
+		{"same name different help", func(r *Registry) {
+			r.Counter("x_total", `a="b"`, "x")
+			r.Counter("x_total", `a="c"`, "y")
+		}},
+		{"invalid name", func(r *Registry) { r.Counter("2bad", "", "x") }},
+		{"empty name", func(r *Registry) { r.Counter("", "", "x") }},
+		{"unordered histogram bounds", func(r *Registry) {
+			r.Histogram("h", "", "x", []float64{1, 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+// Distinct label sets under one family are legal and must not panic.
+func TestRegistryLabeledMembersCoexist(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", `tier="mem"`, "hits")
+	r.Counter("hits_total", `tier="disk"`, "hits")
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "# TYPE hits_total counter") != 1 {
+		t.Errorf("family metadata should render once:\n%s", b.String())
+	}
+}
+
+func TestHistogramObserveConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", "h", DurationBuckets)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.002)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := h.count.Load(); got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}

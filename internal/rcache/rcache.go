@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -232,15 +233,49 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// RegisterMetrics exposes the store's counters on a registry as the
+// rcache_* family — the same numbers Stats snapshots, under stable
+// exposition names. Remote-tier counters register only when a remote is
+// attached; call after AttachRemote.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	const hitsHelp = "lookups served without a fresh simulation, by tier (dedup = singleflight wait)"
+	r.CounterFunc("rcache_hits_total", `tier="mem"`, hitsHelp, s.memHits.Load)
+	r.CounterFunc("rcache_hits_total", `tier="disk"`, hitsHelp, s.diskHits.Load)
+	r.CounterFunc("rcache_hits_total", `tier="remote"`, hitsHelp, s.remoteHits.Load)
+	r.CounterFunc("rcache_hits_total", `tier="dedup"`, hitsHelp, s.dedup.Load)
+	r.CounterFunc("rcache_misses_total", "", "lookups resolved by computing the cell", s.misses.Load)
+	r.CounterFunc("rcache_stores_total", "", "records written to the local disk tier", s.stores.Load)
+	r.CounterFunc("rcache_corrupt_total", "", "unreadable or mismatched disk records discarded", s.corrupt.Load)
+	if s.remote != nil {
+		r.CounterFunc("rcache_remote_stores_total", "", "write-backs acknowledged by the remote server", s.remote.stores.Load)
+		r.CounterFunc("rcache_remote_errors_total", "", "remote anomalies degraded to misses or drops", s.remote.errs.Load)
+	}
+}
+
 // Do returns the cached Run for key, or runs compute once — however many
 // goroutines ask concurrently — and caches its result. Errors are returned
 // to every waiter of that flight and are not cached, so a failed cell is
 // recomputed on the next request.
 func (s *Store) Do(key Key, compute func() (metrics.Run, error)) (metrics.Run, error) {
+	return s.DoSpan(key, nil, compute)
+}
+
+// DoSpan is Do with an optional cell span (nil is Do exactly). Tier
+// consultation is timed into the span's cache-lookup phase — for a
+// singleflight waiter that is the whole wait on the winner's computation —
+// persistence of a computed or read-through record into its store phase, and
+// the resolving tier is recorded as the span's outcome: "mem-hit",
+// "disk-hit", "remote-hit", "dedup", or "computed". The span never
+// influences what Do returns; it only observes.
+func (s *Store) DoSpan(key Key, sp *obs.Span, compute func() (metrics.Run, error)) (metrics.Run, error) {
+	sp.SetKey(key.String())
+	endLookup := sp.StartPhase(obs.PhaseCacheLookup)
 	s.mu.Lock()
 	if r, ok := s.mem[key]; ok {
 		s.mu.Unlock()
 		s.memHits.Add(1)
+		endLookup()
+		sp.SetOutcome("mem-hit")
 		return r, nil
 	}
 	if f, ok := s.inflight[key]; ok {
@@ -248,13 +283,16 @@ func (s *Store) Do(key Key, compute func() (metrics.Run, error)) (metrics.Run, e
 		s.dedup.Add(1)
 		//repro:allow tokenhold known worker-budget idle spot (ROADMAP "cold cells" item): a singleflight waiter parks here holding its caller's budget token; fix direction is a lend-the-token protocol so the winner can use the waiter's core
 		<-f.done
+		endLookup()
+		sp.SetOutcome("dedup")
 		return f.run, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
 	s.mu.Unlock()
+	endLookup()
 
-	f.run, f.err = s.fill(key, compute)
+	f.run, f.err = s.fill(key, sp, compute)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -273,30 +311,42 @@ func (s *Store) Do(key Key, compute func() (metrics.Run, error)) (metrics.Run, e
 // written back — a cell found on disk was either computed here once already
 // (and written back then) or arrived from a shared store in the first place,
 // so re-announcing it would just flood the server with PUTs it has.
-func (s *Store) fill(key Key, compute func() (metrics.Run, error)) (metrics.Run, error) {
+func (s *Store) fill(key Key, sp *obs.Span, compute func() (metrics.Run, error)) (metrics.Run, error) {
 	if s.dir != "" {
-		if r, ok := s.diskGet(key); ok {
+		end := sp.StartPhase(obs.PhaseCacheLookup)
+		r, ok := s.diskGet(key)
+		end()
+		if ok {
 			s.diskHits.Add(1)
+			sp.SetOutcome("disk-hit")
 			return r, nil
 		}
 	}
 	if s.remote != nil {
-		if r, ok := s.remote.get(key); ok {
+		end := sp.StartPhase(obs.PhaseCacheLookup)
+		r, ok := s.remote.get(key)
+		end()
+		if ok {
 			s.remoteHits.Add(1)
+			sp.SetOutcome("remote-hit")
 			if s.dir != "" && !s.readonly {
+				endStore := sp.StartPhase(obs.PhaseStore)
 				if s.diskPut(key, r) {
 					s.stores.Add(1)
 				}
+				endStore()
 			}
 			return r, nil
 		}
 	}
 	s.misses.Add(1)
+	sp.SetOutcome("computed")
 	r, err := compute()
 	if err != nil {
 		return r, err
 	}
 	if !s.readonly {
+		endStore := sp.StartPhase(obs.PhaseStore)
 		b, encErr := encodeRecord(key, r)
 		if encErr == nil {
 			if s.dir != "" && writeEntry(s.dir, key.String(), b) {
@@ -306,6 +356,7 @@ func (s *Store) fill(key Key, compute func() (metrics.Run, error)) (metrics.Run,
 				s.remote.put(key, b)
 			}
 		}
+		endStore()
 	}
 	return r, nil
 }

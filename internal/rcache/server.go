@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Server is the HTTP front end cmd/cached mounts over a result-cache
@@ -38,6 +40,8 @@ import (
 type Server struct {
 	dir      string
 	maxBytes int64
+	start    time.Time     // boot time, for /healthz uptime
+	reg      *obs.Registry // backs /metrics
 
 	mu       sync.Mutex
 	inflight map[string]int // "version/key" → concurrent PUT count
@@ -56,9 +60,35 @@ func NewServer(dir string, maxBytes int64) (*Server, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("rcache: server: %w", err)
 	}
-	s := &Server{dir: dir, maxBytes: maxBytes, inflight: map[string]int{}}
+	s := &Server{dir: dir, maxBytes: maxBytes, inflight: map[string]int{}, start: obs.Now()}
+	s.reg = obs.NewRegistry()
+	s.registerMetrics(s.reg)
 	s.enforceBudget()
 	return s, nil
+}
+
+// registerMetrics exposes the server's counters as the cached_* family —
+// the same numbers /stats reports, rendered in the exposition format for
+// scrapers. The store-size gauges walk the directory at scrape time, like
+// /stats does per request.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	r.CounterFunc("cached_gets_total", "", "entry reads attempted against the store", s.gets.Load)
+	r.CounterFunc("cached_hits_total", "", "entry reads served from the store", s.hits.Load)
+	r.CounterFunc("cached_misses_total", "", "entry reads that found nothing", s.misses.Load)
+	r.CounterFunc("cached_not_modified_total", "", "conditional requests answered 304", s.notModified.Load)
+	r.CounterFunc("cached_puts_total", "", "entries accepted and written", s.puts.Load)
+	r.CounterFunc("cached_put_bytes_total", "", "entry bytes accepted and written", s.putBytes.Load)
+	r.CounterFunc("cached_bad_requests_total", "", "malformed requests rejected", s.badRequests.Load)
+	r.CounterFunc("cached_evicted_entries_total", "", "entries evicted by the byte budget", s.evictedEntries.Load)
+	r.CounterFunc("cached_evicted_bytes_total", "", "bytes reclaimed by the byte budget", s.evictedBytes.Load)
+	r.GaugeFunc("cached_max_bytes", "", "store byte budget (0 = unbounded)",
+		func() float64 { return float64(s.maxBytes) })
+	r.GaugeFunc("cached_store_entries", "", "entries currently in the store",
+		func() float64 { e, _ := s.storeSize(); return float64(e) })
+	r.GaugeFunc("cached_store_bytes", "", "bytes currently in the store",
+		func() float64 { _, b := s.storeSize(); return float64(b) })
+	r.GaugeFunc("cached_uptime_seconds", "", "seconds since server start",
+		func() float64 { return obs.Since(s.start).Seconds() })
 }
 
 // ServerStats is the /stats response. Counter fields are cumulative since
@@ -92,6 +122,12 @@ func (s *Server) Stats() ServerStats {
 		EvictedBytes:   s.evictedBytes.Load(),
 		MaxBytes:       s.maxBytes,
 	}
+	st.Entries, st.Bytes = s.storeSize()
+	return st
+}
+
+// storeSize walks the store for its current entry count and byte total.
+func (s *Server) storeSize() (entries, bytes int64) {
 	versions, _ := os.ReadDir(s.dir)
 	for _, v := range versions {
 		if !v.IsDir() || !isSchemaDirName(v.Name()) {
@@ -103,17 +139,24 @@ func (s *Server) Stats() ServerStats {
 				continue
 			}
 			if info, err := f.Info(); err == nil {
-				st.Entries++
-				st.Bytes += info.Size()
+				entries++
+				bytes += info.Size()
 			}
 		}
 	}
-	return st
+	return entries, bytes
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/stats" {
+	switch r.URL.Path {
+	case "/stats":
 		s.serveStats(w, r)
+		return
+	case "/metrics":
+		s.serveMetrics(w, r)
+		return
+	case "/healthz":
+		s.serveHealthz(w, r)
 		return
 	}
 	version, key, ok := parseEntryPath(r.URL.Path)
@@ -146,6 +189,50 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Stats())
+}
+
+// serveMetrics renders the registry in the Prometheus text exposition
+// format — the scraper-facing twin of /stats.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	s.reg.WriteText(w)
+}
+
+// Health is the /healthz response: liveness plus the two facts a fleet
+// script wants before pointing clients here — how long the server has been
+// up and which schema generation this build reads and writes.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	SchemaVersion string  `json:"schema_version"`
+}
+
+// serveHealthz answers 200 as soon as the server is constructed — CI waits
+// on it before starting clients, so it must not walk the store or take any
+// lock a slow request could hold.
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	json.NewEncoder(w).Encode(Health{
+		Status:        "ok",
+		UptimeSeconds: obs.Since(s.start).Seconds(),
+		SchemaVersion: LiveVersion(),
+	})
 }
 
 func (s *Server) serveGet(w http.ResponseWriter, r *http.Request, version, key string) {

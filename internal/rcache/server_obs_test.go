@@ -1,0 +1,148 @@
+package rcache
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestServerHealthz pins the liveness endpoint: 200 with a JSON body naming
+// the live schema version — what CI's readiness loop waits on.
+func TestServerHealthz(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.SchemaVersion != LiveVersion() {
+		t.Errorf("schema_version = %q, want %q", h.SchemaVersion, LiveVersion())
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %v, want >= 0", h.UptimeSeconds)
+	}
+
+	post, err := http.Post(hs.URL+"/healthz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", post.StatusCode)
+	}
+}
+
+// TestServerMetrics pins the scraper endpoint: the exposition content type,
+// parseable text exposition lines, and counters that move with traffic.
+func TestServerMetrics(t *testing.T) {
+	srv, err := NewServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// Generate one miss so cached_gets_total and cached_misses_total move.
+	cfg, spec := testCell()
+	key := KeyOf(cfg, spec, "pdf", 1, false)
+	resp, err := http.Get(hs.URL + "/cache/" + LiveVersion() + "/" + key.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET of absent entry = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+
+	for _, want := range []string{
+		"# TYPE cached_gets_total counter",
+		"cached_gets_total 1",
+		"cached_misses_total 1",
+		"cached_store_entries 0",
+		"# TYPE cached_uptime_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	checkExposition(t, out)
+}
+
+// checkExposition asserts every line is a well-formed text-exposition line:
+// a # HELP/# TYPE comment, or `name{labels} value` with a parseable value —
+// the contract any Prometheus scraper relies on.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("exposition does not end in a newline")
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Errorf("line %d: no sample value: %q", i+1, line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("line %d: unparseable value %q: %v", i+1, line[sp+1:], err)
+		}
+		name := line[:sp]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("line %d: unterminated label set: %q", i+1, line)
+			}
+			name = name[:j]
+		}
+		for k, c := range name {
+			alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+			if !alpha && (k == 0 || c < '0' || c > '9') {
+				t.Errorf("line %d: invalid metric name %q", i+1, name)
+				break
+			}
+		}
+	}
+}

@@ -101,11 +101,18 @@ func Stream[T any](parallel int, jobs []Job[T], yield func(i int, v T, err error
 	if parallel > n {
 		parallel = n
 	}
+	// Every job is queued up front; each execution path below drains the
+	// gauge exactly once per index — claimed and run, claimed and
+	// cancel-filled, or abandoned after a yield error.
+	queued.Add(int64(n))
 	if parallel == 1 {
 		// Explicitly serial: no goroutines, no channels, no budget polls.
 		for i, job := range jobs {
+			claimJob()
 			v, err := job()
+			finishJob()
 			if yerr := yield(i, v, err); yerr != nil {
+				abandonJobs(n - i - 1)
 				return yerr
 			}
 		}
@@ -139,8 +146,11 @@ func Stream[T any](parallel int, jobs []Job[T], yield func(i int, v T, err error
 				return yield(base+j, v, err)
 			})
 		}
+		claimJob()
 		v, err := jobs[i]()
+		finishJob()
 		if yerr := yield(i, v, err); yerr != nil {
+			abandonJobs(n - i - 1)
 			return yerr
 		}
 	}
@@ -199,11 +209,14 @@ func streamWorkers[T any](workers, limit int, jobs []Job[T], yield func(i int, v
 				return
 			}
 			if cancelled.Load() {
+				skipJob()
 				// Still fill the slot so the drain below never blocks.
 				slots[i] <- result{}
 				continue
 			}
+			claimJob()
 			v, err := jobs[i]()
+			finishJob()
 			slots[i] <- result{v, err}
 		}
 	}

@@ -133,7 +133,11 @@ func (e *Engine) Run() metrics.Run {
 		panic(fmt.Sprintf("sim: %d of %d nodes incomplete at hard limit — scheduler lost work",
 			e.g.Len()-e.done, e.g.Len()))
 	}
-	return e.Result()
+	r := e.Result()
+	simRuns.Add(1)
+	simCycles.Add(e.now)
+	simInstrs.Add(e.instructions)
+	return r
 }
 
 // RunUntil advances the simulation until every node is done or the clock

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Process-wide engine telemetry, ticked once per completed Run. The engine's
+// hot loop is untouched — the totals come from the run record it already
+// produces — so instrumentation costs three atomic adds per simulation, not
+// per cycle. sim is a determinism-policed package: these are plain counters,
+// no clocks, and nothing here feeds back into simulation state.
+var (
+	simRuns   atomic.Int64
+	simCycles atomic.Int64
+	simInstrs atomic.Int64
+)
+
+// RegisterMetrics exposes engine execution totals on a registry as the
+// sim_* family.
+func RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("sim_runs_total", "", "complete engine runs executed",
+		func() int64 { return simRuns.Load() })
+	r.CounterFunc("sim_cycles_total", "", "simulated cycles across all runs",
+		func() int64 { return simCycles.Load() })
+	r.CounterFunc("sim_instructions_total", "", "dynamic instructions executed across all runs",
+		func() int64 { return simInstrs.Load() })
+}

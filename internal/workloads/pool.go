@@ -3,6 +3,8 @@ package workloads
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Pool memoizes built instances by Spec.Fingerprint so the N scheduler arms
@@ -83,10 +85,20 @@ func instanceCost(in *Instance) uint64 {
 // when one exists and building otherwise. The caller owns the instance
 // exclusively until Release. A nil pool always builds fresh (the pool-off
 // escape hatch for benchmarks and tests).
-func (p *Pool) Acquire(spec Spec) *Instance {
+func (p *Pool) Acquire(spec Spec) *Instance { return p.AcquireSpan(spec, nil) }
+
+// AcquireSpan is Acquire with an optional cell span (nil is Acquire
+// exactly): pool bookkeeping is timed as the span's pool-acquire phase, and
+// the arming work as its reset phase (idle hit) or build phase (fresh
+// construction). The span only observes; which instance is returned never
+// depends on it.
+func (p *Pool) AcquireSpan(spec Spec, sp *obs.Span) *Instance {
 	if p == nil {
+		end := sp.StartPhase(obs.PhaseBuild)
+		defer end()
 		return Build(spec)
 	}
+	endAcq := sp.StartPhase(obs.PhasePoolAcquire)
 	key := spec.Fingerprint()
 	p.mu.Lock()
 	if free := p.idle[key]; len(free) > 0 {
@@ -98,7 +110,10 @@ func (p *Pool) Acquire(spec Spec) *Instance {
 		p.out[key]++
 		p.hits++
 		p.mu.Unlock()
+		endAcq()
+		endReset := sp.StartPhase(obs.PhaseReset)
 		e.in.Reset()
+		endReset()
 		return e.in
 	}
 	p.misses++
@@ -107,6 +122,9 @@ func (p *Pool) Acquire(spec Spec) *Instance {
 	}
 	p.out[key]++
 	p.mu.Unlock()
+	endAcq()
+	endBuild := sp.StartPhase(obs.PhaseBuild)
+	defer endBuild()
 	return Build(spec)
 }
 
@@ -218,4 +236,41 @@ func (p *Pool) Stats() PoolStats {
 func (s PoolStats) String() string {
 	return fmt.Sprintf("wpool: hits=%d misses=%d (contended=%d) evictions=%d dropped=%d idle=%d idle-bytes=%d",
 		s.Hits, s.Misses, s.Contended, s.Evictions, s.Dropped, s.Idle, s.IdleBytes)
+}
+
+// RegisterMetrics exposes the pool's counters on a registry as the wpool_*
+// family — the same numbers Stats snapshots, under stable exposition names.
+// Each collector takes the pool lock for one field read at render time.
+func (p *Pool) RegisterMetrics(r *obs.Registry) {
+	read := func(f func() int64) func() int64 {
+		return func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return f()
+		}
+	}
+	r.CounterFunc("wpool_hits_total", "", "acquires served by resetting an idle instance",
+		read(func() int64 { return p.hits }))
+	r.CounterFunc("wpool_misses_total", "", "acquires that built a fresh instance",
+		read(func() int64 { return p.misses }))
+	r.CounterFunc("wpool_contended_total", "", "builds issued while copies of the spec were checked out",
+		read(func() int64 { return p.cont }))
+	r.CounterFunc("wpool_evictions_total", "", "idle instances evicted for the byte budget",
+		read(func() int64 { return p.evicts }))
+	r.CounterFunc("wpool_dropped_total", "", "released instances too large to ever deposit",
+		read(func() int64 { return p.dropped }))
+	r.GaugeFunc("wpool_idle_instances", "", "instances currently idle in the pool",
+		func() float64 { return float64(p.Stats().Idle) })
+	r.GaugeFunc("wpool_idle_bytes", "", "estimated bytes of idle instances",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(p.size)
+		})
+	// Build-side telemetry lives at package level (Build is reachable
+	// without a pool), but belongs to the same family for readers.
+	r.CounterFunc("wpool_builds_total", "", "workload instances constructed since process start",
+		func() int64 { n, _ := BuildCount(); return n })
+	r.CounterFunc("wpool_build_nanoseconds_total", "", "wall time spent constructing instances (obs.Clock)",
+		func() int64 { _, ns := BuildCount(); return ns })
 }

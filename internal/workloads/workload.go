@@ -29,10 +29,10 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/dag"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -183,15 +183,16 @@ func shapeErr(s Spec) error {
 // malformed parameters — Specs are experiment-table input, not user input
 // (callers with user input validate with Spec.Validate first).
 func Build(s Spec) *Instance {
-	//repro:allow detrand build-wall-time telemetry: feeds only BuildCount/benchmark reporting, never simulation state, output tables, or cache keys
-	start := time.Now()
+	// Wall time is read through obs.Clock, the sanctioned telemetry clock:
+	// it feeds only BuildCount/benchmark reporting, never simulation state,
+	// output tables, or cache keys.
+	start := obs.Now()
 	in := build(s)
 	// Freeze captures the build-time bytes of every simulated array; Reset
 	// restores them, making the instance multi-run.
 	in.Space.Freeze()
 	builds.Add(1)
-	//repro:allow detrand build-wall-time telemetry: feeds only BuildCount/benchmark reporting, never simulation state, output tables, or cache keys
-	buildNanos.Add(time.Since(start).Nanoseconds())
+	buildNanos.Add(obs.Since(start).Nanoseconds())
 	return in
 }
 

@@ -287,6 +287,56 @@ func TestInclusionPropertyRandomTraffic(t *testing.T) {
 	}
 }
 
+// TestInvalidationCountedOncePerCause pins the per-cause accounting of
+// Stats.Invalidations: SetAssoc.invalidate itself is count-free, and the
+// hierarchy counts exactly one invalidation per L1 copy dropped — whether
+// the cause is coherence (another core takes exclusive ownership) or
+// inclusion (the L2 evicts a line some L1 still holds). The wart this
+// guards against: counting inside invalidate() either missed the inclusion
+// path or double-counted copies dropped through two call sites.
+func TestInvalidationCountedOncePerCause(t *testing.T) {
+	// Coherence, upgrade path: two sharers, one writes.
+	h := New(smallParams(3))
+	now := h.Access(0, 0, 8, false, 0)
+	now = h.Access(1, 0, 8, false, now)
+	now = h.Access(2, 0, 8, false, now)
+	now = h.Access(0, 0, 8, true, now) // upgrade: drops copies in cores 1 and 2
+	for c := 1; c <= 2; c++ {
+		if got := h.L1(c).Stats.Invalidations; got != 1 {
+			t.Fatalf("after upgrade, core %d invalidations = %d, want exactly 1", c, got)
+		}
+	}
+	if got := h.L1(0).Stats.Invalidations; got != 0 {
+		t.Fatalf("writer counted %d invalidations against itself", got)
+	}
+
+	// Coherence, write-miss path: core 1 writes a line only core 0 holds.
+	now = h.Access(1, 0, 8, true, now)
+	if got := h.L1(0).Stats.Invalidations; got != 1 {
+		t.Fatalf("after write miss, core 0 invalidations = %d, want exactly 1", got)
+	}
+
+	// Inclusion back-invalidation: core 1 holds a line; core 0 streams
+	// conflicting lines through the same L2 set until the L2 evicts it.
+	// smallParams: L2 is 16 sets x 8 ways, so 8 distinct conflicting tags
+	// (stride 16 lines = 1024 bytes) fill the set and the 8th evicts the
+	// LRU victim — the line core 1 still holds.
+	h = New(smallParams(2))
+	now = h.Access(1, 0, 8, false, 0)
+	for i := 1; i <= 8; i++ {
+		now = h.Access(0, mem.Addr(i*1024), 8, false, now)
+	}
+	if got := h.L1(1).Stats.Invalidations; got != 1 {
+		t.Fatalf("after inclusion eviction, core 1 invalidations = %d, want exactly 1", got)
+	}
+	if got := h.L1(0).Stats.Invalidations; got != 0 {
+		t.Fatalf("streaming core counted %d invalidations", got)
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLRUStackProperty(t *testing.T) {
 	// Inclusion-property of LRU: a trace run against a larger-associativity
 	// cache of the same set count can only hit more, never less.
@@ -301,13 +351,11 @@ func TestLRUStackProperty(t *testing.T) {
 		var hits int64
 		for _, a := range trace {
 			tag := c.lineAddr(a)
-			if ln := c.lookup(tag); ln != nil {
-				c.touch(ln)
+			if i := c.lookup(tag); i >= 0 {
+				c.touch(&c.lines[i])
 				hits++
 			} else {
-				v := c.victim(tag)
-				*v = line{tag: tag, valid: true}
-				c.touch(v)
+				c.touch(c.install(c.victim(tag), tag))
 			}
 		}
 		if hits < prevHits {

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -40,6 +41,29 @@ type Hierarchy struct {
 	l2     *SetAssoc
 	bus    *Bus
 
+	// Hot-path copies of the invariant geometry, hoisted out of params so
+	// the per-access code reads fields at fixed small offsets.
+	lineShift uint
+	lat       Latencies
+	cores     int
+
+	// wayPred[c][s] holds the keys/lines indices of core c's two most
+	// recent L1 hits (or fills) in set s, most recent first — two-entry
+	// way prediction. Replayed traces interleave a few streams (merge
+	// inputs and output, matrix rows); predicting per set short-circuits
+	// repeat hits to one or two compares, and the second entry absorbs the
+	// common case of two streams alternating within one set, where a
+	// single entry would thrash. The filter is self-validating — the fast
+	// hit requires l1.keys[pred] == tag, and every action that drops or
+	// retags a way (coherence invalidation, inclusion back-invalidation,
+	// eviction) rewrites that key — so no explicit invalidation hook
+	// exists to be missed, and stats/LRU/latency behavior is bit-identical
+	// to a full lookup. A stale prediction can only point into its own set
+	// (only indices of set s are ever stored at [c][s], and the zero value
+	// is way 0 of set 0, whose key can never equal a tag belonging to set
+	// s ≠ 0 because the tag embeds the set bits).
+	wayPred [][][2]int32
+
 	// OffchipTransfers counts demand fills + writebacks; OffchipBytes is
 	// the paper's off-chip traffic metric.
 	OffchipTransfers int64
@@ -62,9 +86,13 @@ func New(p Params) *Hierarchy {
 		params: p,
 		l2:     NewSetAssoc("L2", p.L2Size, p.L2Ways, p.LineSize, p.L2MaskedWays),
 		bus:    NewBus(p.BusBPC),
+		lat:    p.Lat,
+		cores:  p.Cores,
 	}
+	h.lineShift = h.l2.lineShift
 	for c := 0; c < p.Cores; c++ {
 		h.l1 = append(h.l1, NewSetAssoc(fmt.Sprintf("L1.%d", c), p.L1Size, p.L1Ways, p.LineSize, 0))
+		h.wayPred = append(h.wayPred, make([][2]int32, h.l1[c].numSets))
 	}
 	return h
 }
@@ -90,42 +118,82 @@ func (h *Hierarchy) EnableWorkingSet() *WorkingSet {
 // Access simulates core performing a read or write of size bytes at addr,
 // issued at cycle now. It returns the cycle at which the access completes.
 // Accesses spanning multiple lines are split and serialized, as an in-order
-// core would.
+// core would. The common case — an access contained in one line — goes
+// straight to accessLine; the split loop lives in accessSplit so this
+// wrapper stays inlinable at the simulator's replay site (one call per
+// memory event instead of two).
 func (h *Hierarchy) Access(core int, addr mem.Addr, size int, write bool, now int64) int64 {
 	if size <= 0 {
 		size = 1
 	}
-	ls := mem.Addr(h.params.LineSize)
-	first := mem.LineAddr(addr, uint64(ls))
-	last := mem.LineAddr(addr+mem.Addr(size-1), uint64(ls))
+	first := uint64(addr) >> h.lineShift
+	last := (uint64(addr) + uint64(size-1)) >> h.lineShift
+	if first == last {
+		return h.accessLine(core, first, write, now)
+	}
+	return h.accessSplit(core, first, last, write, now)
+}
+
+// accessSplit serializes a line-crossing access, one accessLine per line.
+func (h *Hierarchy) accessSplit(core int, first, last uint64, write bool, now int64) int64 {
 	t := now
-	for la := first; ; la += ls {
-		t = h.accessLine(core, la, write, t)
-		if la == last {
-			break
-		}
+	for tag := first; tag <= last; tag++ {
+		t = h.accessLine(core, tag, write, t)
 	}
 	return t
 }
 
-// accessLine performs the coherent lookup/fill protocol for a single line.
-func (h *Hierarchy) accessLine(core int, lineAddr mem.Addr, write bool, now int64) int64 {
+// LineShift returns log2 of the line size, for callers that pre-split
+// accesses into line tags (the simulator's replay loop).
+func (h *Hierarchy) LineShift() uint { return h.lineShift }
+
+// AccessLine is the single-line form of Access: the access is already known
+// to touch exactly the line with the given tag (addr >> LineShift()). This
+// thin exported wrapper stays inlinable, so the replay loop pays one call
+// per memory event where Access (which must also carry the line-split loop)
+// costs two.
+func (h *Hierarchy) AccessLine(core int, tag uint64, write bool, now int64) int64 {
+	return h.accessLine(core, tag, write, now)
+}
+
+// accessLine performs the coherent lookup/fill protocol for a single line,
+// identified by its tag (line address >> lineShift).
+func (h *Hierarchy) accessLine(core int, tag uint64, write bool, now int64) int64 {
 	if h.ws != nil {
-		h.ws.Touch(lineAddr)
+		h.ws.Touch(mem.Addr(tag << h.lineShift))
 	}
 	l1 := h.l1[core]
-	tag := l1.lineAddr(lineAddr)
 
-	if ln := l1.lookup(tag); ln != nil {
+	// Way prediction, then the set scan. Both resolve to the same way when
+	// the line is resident: tags are unique cache-wide (a way in set s only
+	// ever holds tags whose set bits equal s), so a key match at the
+	// predicted index is exactly a lookup hit.
+	set := int(tag & l1.setMask)
+	pe := &h.wayPred[core][set]
+	i := int(pe[0])
+	if l1.keys[i] != tag {
+		if j := int(pe[1]); l1.keys[j] == tag {
+			i = j
+		} else {
+			i = l1.lookup(tag)
+		}
+		if i >= 0 {
+			pe[1] = pe[0]
+			pe[0] = int32(i)
+		}
+	}
+
+	if i >= 0 {
+		ln := &l1.lines[i]
 		l1.touch(ln)
 		if !write {
 			l1.Stats.Hits++
-			return now + h.params.Lat.L1
+			return now + h.lat.L1
 		}
 		if ln.excl {
 			l1.Stats.Hits++
 			ln.dirty = true
-			return now + h.params.Lat.L1
+			return now + h.lat.L1
 		}
 		// Write hit on a shared line: upgrade via the directory. This is
 		// an L1 hit for counting purposes (no fill), but pays an L2 trip.
@@ -134,16 +202,16 @@ func (h *Hierarchy) accessLine(core int, lineAddr mem.Addr, write bool, now int6
 		h.invalidateOthers(core, tag)
 		ln.excl = true
 		ln.dirty = true
-		return now + h.params.Lat.L1 + h.params.Lat.L2
+		return now + h.lat.L1 + h.lat.L2
 	}
 
 	// L1 miss.
 	l1.Stats.Misses++
-	reqAt := now + h.params.Lat.L1 + h.params.Lat.L2
+	reqAt := now + h.lat.L1 + h.lat.L2
 	done := reqAt
-	l2tag := h.l2.lineAddr(lineAddr)
-	l2ln := h.l2.lookup(l2tag)
-	if l2ln == nil {
+	var l2ln *line
+	j := h.l2.lookup(tag)
+	if j < 0 {
 		// L2 miss: off-chip fill. The bus is held for the line transfer;
 		// DRAM access latency itself pipelines across requesters.
 		h.l2.Stats.Misses++
@@ -151,31 +219,33 @@ func (h *Hierarchy) accessLine(core int, lineAddr mem.Addr, write bool, now int6
 		h.OffchipTransfers++
 		h.OffchipBytes += int64(h.params.LineSize)
 		if h.attr != nil {
-			h.attr.record(lineAddr, h.params.LineSize)
+			h.attr.record(mem.Addr(tag<<h.lineShift), h.params.LineSize)
 		}
-		done = grantDone + h.params.Lat.Mem
+		done = grantDone + h.lat.Mem
 		// The victim is chosen (and its writeback issued) when the miss
 		// reaches the L2, not after the fill returns — otherwise queued
 		// writebacks would be stamped into the future and artificially
 		// serialize later demand fills.
-		l2ln = h.fillL2(l2tag, reqAt)
+		l2ln = h.fillL2(tag, reqAt)
 	} else {
 		h.l2.Stats.Hits++
+		l2ln = &h.l2.lines[j]
 		h.l2.touch(l2ln)
 		// If another core holds the line dirty-exclusive, it must supply
 		// and downgrade (or surrender, on a write) its copy.
-		h.downgradeOwners(core, tag, write)
+		h.downgradeOwners(core, l2ln, tag)
 	}
 
 	if write {
 		// Take exclusive ownership: drop all other sharers.
-		h.invalidateOthers(core, tag)
+		h.invalidateOthersIn(core, l2ln, tag)
 		l2ln.sharers = 1 << uint(core)
 	} else {
 		l2ln.sharers |= 1 << uint(core)
 	}
 
-	h.fillL1(core, tag, write)
+	pe[1] = pe[0]
+	pe[0] = int32(h.fillL1(core, tag, write))
 	return done
 }
 
@@ -184,19 +254,26 @@ func (h *Hierarchy) accessLine(core int, lineAddr mem.Addr, write bool, now int6
 // time the miss reached the L2 (pre-DRAM), which is when the victim's
 // writeback occupies the bus.
 func (h *Hierarchy) fillL2(tag uint64, now int64) *line {
-	v := h.l2.victim(tag)
-	if v.valid {
+	vi := h.l2.victim(tag)
+	if h.l2.keys[vi] != invalidKey {
 		h.l2.Stats.Evictions++
+		v := &h.l2.lines[vi]
 		dirty := v.dirty
 		// Inclusion: every L1 copy of the victim must be dropped. A dirty
 		// L1 copy is newer than the L2's, so its data must go off-chip.
+		// Bitmask iteration pops sharers in ascending core id.
 		if v.sharers != 0 {
-			vTag := v.tag
-			for c := 0; c < h.params.Cores; c++ {
-				if v.sharers&(1<<uint(c)) != 0 {
-					if wasDirty, _ := h.l1[c].invalidate(vTag); wasDirty {
-						dirty = true
-					}
+			vTag := h.l2.keys[vi]
+			for m := v.sharers; m != 0; m &= m - 1 {
+				c := bits.TrailingZeros64(m)
+				wasDirty, wasPresent := h.l1[c].invalidate(vTag)
+				if wasPresent {
+					// Inclusion back-invalidation, counted once per
+					// dropped copy (invalidate itself is count-free).
+					h.l1[c].Stats.Invalidations++
+				}
+				if wasDirty {
+					dirty = true
 				}
 			}
 		}
@@ -206,35 +283,40 @@ func (h *Hierarchy) fillL2(tag uint64, now int64) *line {
 			h.OffchipTransfers++
 			h.OffchipBytes += int64(h.params.LineSize)
 			if h.attr != nil {
-				h.attr.record(mem.Addr(v.tag<<h.l2.lineShift), h.params.LineSize)
+				h.attr.record(mem.Addr(h.l2.keys[vi]<<h.lineShift), h.params.LineSize)
 			}
 		}
 	}
-	*v = line{tag: tag, valid: true}
-	h.l2.touch(v)
-	return v
+	ln := h.l2.install(vi, tag)
+	h.l2.touch(ln)
+	return ln
 }
 
 // fillL1 inserts a line into core's L1, writing a dirty victim back into
-// the (inclusive, hence guaranteed present) L2.
-func (h *Hierarchy) fillL1(core int, tag uint64, excl bool) {
+// the (inclusive, hence guaranteed present) L2. It returns the filled way's
+// index for the MRU filter.
+func (h *Hierarchy) fillL1(core int, tag uint64, excl bool) int {
 	l1 := h.l1[core]
-	v := l1.victim(tag)
-	if v.valid {
+	vi := l1.victim(tag)
+	if l1.keys[vi] != invalidKey {
 		l1.Stats.Evictions++
-		h.dropL1Copy(core, v.tag, v.dirty)
-		if v.dirty {
+		h.dropL1Copy(core, l1.keys[vi], l1.lines[vi].dirty)
+		if l1.lines[vi].dirty {
 			l1.Stats.Writebacks++
 		}
 	}
-	*v = line{tag: tag, valid: true, excl: excl, dirty: excl}
-	l1.touch(v)
+	ln := l1.install(vi, tag)
+	ln.excl = excl
+	ln.dirty = excl
+	l1.touch(ln)
+	return vi
 }
 
 // dropL1Copy updates the directory when core silently evicts (or writes
 // back) its copy of tag. A dirty copy marks the L2 line dirty.
 func (h *Hierarchy) dropL1Copy(core int, tag uint64, dirty bool) {
-	if l2ln := h.l2.lookup(tag); l2ln != nil {
+	if j := h.l2.lookup(tag); j >= 0 {
+		l2ln := &h.l2.lines[j]
 		l2ln.sharers &^= 1 << uint(core)
 		if dirty {
 			l2ln.dirty = true
@@ -245,43 +327,45 @@ func (h *Hierarchy) dropL1Copy(core int, tag uint64, dirty bool) {
 // invalidateOthers removes every L1 copy of tag except core's own, folding
 // dirty data into the L2 line.
 func (h *Hierarchy) invalidateOthers(core int, tag uint64) {
-	l2ln := h.l2.lookup(tag)
-	if l2ln == nil {
-		return
+	if j := h.l2.lookup(tag); j >= 0 {
+		h.invalidateOthersIn(core, &h.l2.lines[j], tag)
 	}
-	others := l2ln.sharers &^ (1 << uint(core))
-	for c := 0; c < h.params.Cores && others != 0; c++ {
-		bit := uint64(1) << uint(c)
-		if others&bit == 0 {
-			continue
+}
+
+// invalidateOthersIn is invalidateOthers with the L2 line already resolved.
+// Sharers are dropped in ascending core id.
+func (h *Hierarchy) invalidateOthersIn(core int, l2ln *line, tag uint64) {
+	for m := l2ln.sharers &^ (1 << uint(core)); m != 0; m &= m - 1 {
+		c := bits.TrailingZeros64(m)
+		wasDirty, wasPresent := h.l1[c].invalidate(tag)
+		if wasPresent {
+			// Coherence invalidation, counted once per dropped copy
+			// (invalidate itself is count-free).
+			h.l1[c].Stats.Invalidations++
 		}
-		others &^= bit
-		if wasDirty, _ := h.l1[c].invalidate(tag); wasDirty {
+		if wasDirty {
 			l2ln.dirty = true
 		}
-		l2ln.sharers &^= bit
+		l2ln.sharers &^= 1 << uint(c)
 	}
 }
 
 // downgradeOwners handles a read (or the lookup phase of a write) hitting a
 // line that some other L1 holds exclusively: the owner loses exclusivity and
-// folds dirty data into the L2.
-func (h *Hierarchy) downgradeOwners(core int, tag uint64, write bool) {
-	l2ln := h.l2.lookup(tag)
-	if l2ln == nil {
-		return
-	}
-	for c := 0; c < h.params.Cores; c++ {
-		if c == core || l2ln.sharers&(1<<uint(c)) == 0 {
-			continue
-		}
-		if ln := h.l1[c].lookup(tag); ln != nil && ln.excl {
-			if ln.dirty {
-				l2ln.dirty = true
-				ln.dirty = false
+// folds dirty data into the L2. On writes, invalidateOthersIn then removes
+// the copy outright.
+func (h *Hierarchy) downgradeOwners(core int, l2ln *line, tag uint64) {
+	for m := l2ln.sharers &^ (1 << uint(core)); m != 0; m &= m - 1 {
+		c := bits.TrailingZeros64(m)
+		if i := h.l1[c].lookup(tag); i >= 0 {
+			ln := &h.l1[c].lines[i]
+			if ln.excl {
+				if ln.dirty {
+					l2ln.dirty = true
+					ln.dirty = false
+				}
+				ln.excl = false
 			}
-			ln.excl = false
-			_ = write // on writes, invalidateOthers will remove the copy
 		}
 	}
 }
@@ -296,7 +380,7 @@ func (h *Hierarchy) CheckInclusion() error {
 		var err error
 		l1.ForEachValid(func(a mem.Addr, _ bool) {
 			tag := h.l2.lineAddr(a)
-			if h.l2.lookup(tag) == nil {
+			if h.l2.lookup(tag) < 0 {
 				err = fmt.Errorf("inclusion violated: core %d holds %x absent from L2", c, a)
 			}
 			want[tag] |= 1 << uint(c)
@@ -308,7 +392,7 @@ func (h *Hierarchy) CheckInclusion() error {
 	var err error
 	h.l2.ForEachValid(func(a mem.Addr, _ bool) {
 		tag := h.l2.lineAddr(a)
-		ln := h.l2.lookup(tag)
+		ln := &h.l2.lines[h.l2.lookup(tag)]
 		if ln.sharers != want[tag] {
 			err = fmt.Errorf("directory wrong for %x: sharers=%b actual=%b", a, ln.sharers, want[tag])
 		}

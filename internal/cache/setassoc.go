@@ -33,14 +33,20 @@ func (s LevelStats) MissRate() float64 {
 	return 0
 }
 
-// line is one cache line's metadata. Data contents are not stored: the
-// simulation is trace-driven, so only presence, ownership, and dirtiness
-// matter.
+// invalidKey is the search-key value of an empty (invalid) way. Simulated
+// addresses carry an 8-bit space id above a 40-bit offset (see internal/mem),
+// so real line tags never exceed 2^48 and can never collide with it.
+const invalidKey = ^uint64(0)
+
+// line is one cache line's metadata beyond its search key. Data contents are
+// not stored: the simulation is trace-driven, so only presence, ownership,
+// and dirtiness matter. Presence and the tag itself live in the SetAssoc's
+// dense keys array — the lookup loop then scans one machine word per way
+// instead of dragging whole line structs through the L1 of the *host* — and
+// a line here is meaningful iff its way's key is not invalidKey.
 type line struct {
-	tag     uint64 // line-aligned address >> lineShift; meaningful iff valid
 	lastUse uint64 // LRU clock value of most recent touch
 	sharers uint64 // L2 only: bitmask of cores whose L1 holds this line
-	valid   bool
 	dirty   bool
 	excl    bool // L1 only: this core has exclusive (writable) ownership
 }
@@ -50,6 +56,11 @@ type line struct {
 // EffectiveWays may be lower than the geometric associativity to model the
 // cache-segment power-down experiment: masked ways are simply never used,
 // exactly like gating their power.
+//
+// Hot state is struct-of-arrays: keys holds each way's search key (the line
+// tag, or invalidKey for an empty way) densely, and lines the rest of the
+// metadata. The two arrays are index-parallel; every transition that fills
+// or drops a way goes through install/clear so they cannot diverge.
 type SetAssoc struct {
 	Name      string
 	ways      int
@@ -57,7 +68,9 @@ type SetAssoc struct {
 	numSets   int
 	lineShift uint
 	setMask   uint64
-	lines     []line // numSets * ways, set-major
+	keys      []uint64 // numSets * ways, set-major: tag or invalidKey
+	lines     []line   // numSets * ways, set-major, parallel to keys
+	pred      []int32  // per-set MRU way index, a lookup/install hint
 	clock     uint64
 	Stats     LevelStats
 }
@@ -86,6 +99,10 @@ func NewSetAssoc(name string, size int64, ways, lineSize, maskedWays int) *SetAs
 	for 1<<shift != lineSize {
 		shift++
 	}
+	keys := make([]uint64, numSets*ways)
+	for i := range keys {
+		keys[i] = invalidKey
+	}
 	return &SetAssoc{
 		Name:      name,
 		ways:      ways,
@@ -93,7 +110,9 @@ func NewSetAssoc(name string, size int64, ways, lineSize, maskedWays int) *SetAs
 		numSets:   numSets,
 		lineShift: shift,
 		setMask:   uint64(numSets - 1),
+		keys:      keys,
 		lines:     make([]line, numSets*ways),
+		pred:      make([]int32, numSets),
 	}
 }
 
@@ -111,17 +130,33 @@ func (c *SetAssoc) lineAddr(a mem.Addr) uint64 { return uint64(a) >> c.lineShift
 // setOf returns the set index for a line tag.
 func (c *SetAssoc) setOf(tag uint64) int { return int(tag & c.setMask) }
 
-// lookup finds the line holding tag. Returns a pointer into the cache's
-// line array, or nil on miss. Does not touch LRU or stats.
-func (c *SetAssoc) lookup(tag uint64) *line {
-	base := c.setOf(tag) * c.ways
-	for w := 0; w < c.effWays; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			return ln
+// lookup finds the way holding tag, returning its index into keys/lines, or
+// -1 on miss. Does not touch LRU or stats. The scan reads only the dense
+// keys array; an empty way's key is invalidKey, which no real tag equals, so
+// no separate validity check is needed.
+//
+// A per-set MRU hint short-circuits the associative scan: pred[set] is the
+// way last found or installed for that set, validated by re-comparing its
+// stored key — a stale or cross-set hint simply fails the compare and falls
+// through to the scan, so the hint can never change what lookup returns
+// (tags are unique cache-wide: at most one way ever holds a given tag).
+// This matters most for the 16-way shared L2, whose directory is consulted
+// on every L1 eviction and coherence action.
+func (c *SetAssoc) lookup(tag uint64) int {
+	set := c.setOf(tag)
+	if p := int(c.pred[set]); c.keys[p] == tag {
+		return p
+	}
+	base := set * c.ways
+	keys := c.keys[base : base+c.effWays]
+	for w := range keys {
+		if keys[w] == tag {
+			i := base + w
+			c.pred[set] = int32(i)
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // touch marks a line as most recently used.
@@ -130,30 +165,51 @@ func (c *SetAssoc) touch(ln *line) {
 	ln.lastUse = c.clock
 }
 
-// victim selects the line to evict in tag's set: an invalid way if any,
-// else the LRU way among powered-on ways.
-func (c *SetAssoc) victim(tag uint64) *line {
+// victim selects the way to evict in tag's set, returning its index: an
+// invalid way if any, else the LRU way among powered-on ways.
+func (c *SetAssoc) victim(tag uint64) int {
 	base := c.setOf(tag) * c.ways
-	var lru *line
+	lru := -1
+	var lruUse uint64
 	for w := 0; w < c.effWays; w++ {
-		ln := &c.lines[base+w]
-		if !ln.valid {
-			return ln
+		i := base + w
+		if c.keys[i] == invalidKey {
+			return i
 		}
-		if lru == nil || ln.lastUse < lru.lastUse {
-			lru = ln
+		if lru < 0 || c.lines[i].lastUse < lruUse {
+			lru, lruUse = i, c.lines[i].lastUse
 		}
 	}
 	return lru
 }
 
+// install fills way i with a fresh line holding tag (flags cleared) and
+// returns the line for the caller to set ownership bits. The previous
+// occupant, if any, is simply overwritten — eviction bookkeeping is the
+// caller's job (see Hierarchy.fillL1/fillL2).
+func (c *SetAssoc) install(i int, tag uint64) *line {
+	c.keys[i] = tag
+	c.lines[i] = line{}
+	c.pred[c.setOf(tag)] = int32(i)
+	return &c.lines[i]
+}
+
+// clear drops way i, returning whether the dropped line was dirty.
+func (c *SetAssoc) clear(i int) (wasDirty bool) {
+	c.keys[i] = invalidKey
+	return c.lines[i].dirty
+}
+
 // invalidate drops tag from the cache if present, returning the line's prior
-// state for writeback handling.
+// state for writeback handling. It is a pure state transition: the protocol
+// layer (Hierarchy) counts Stats.Invalidations at each call site, attributing
+// the event to its cause — coherence versus inclusion back-invalidation —
+// exactly once per line actually dropped. (An earlier version counted here,
+// before the caller had decided what the invalidation meant; the counts were
+// identical only because every caller happened to consume the result.)
 func (c *SetAssoc) invalidate(tag uint64) (wasDirty, wasPresent bool) {
-	if ln := c.lookup(tag); ln != nil {
-		c.Stats.Invalidations++
-		ln.valid = false
-		return ln.dirty, true
+	if i := c.lookup(tag); i >= 0 {
+		return c.clear(i), true
 	}
 	return false, false
 }
@@ -164,9 +220,9 @@ func (c *SetAssoc) ForEachValid(fn func(lineAddr mem.Addr, dirty bool)) {
 	for s := 0; s < c.numSets; s++ {
 		base := s * c.ways
 		for w := 0; w < c.effWays; w++ {
-			ln := &c.lines[base+w]
-			if ln.valid {
-				fn(mem.Addr(ln.tag<<c.lineShift), ln.dirty)
+			i := base + w
+			if c.keys[i] != invalidKey {
+				fn(mem.Addr(c.keys[i]<<c.lineShift), c.lines[i].dirty)
 			}
 		}
 	}

@@ -129,6 +129,8 @@ func multiprogOnce(sched string, cores int, quantum int64, quick bool) ([]string
 	ra.Workload = specA.Name
 	rb := engB.Result()
 	rb.Workload = specB.Name
+	engA.Recycle()
+	engB.Recycle()
 	// Both programs verified and all results extracted: only now does
 	// exclusive ownership end, so a concurrent arm's Acquire can never
 	// reset an instance this arm's engines still reference.

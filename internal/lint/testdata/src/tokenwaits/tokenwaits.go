@@ -3,7 +3,11 @@
 // tokens are held, so parking the goroutine parks a token.
 package tokenwaits
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/runner"
+)
 
 func recv(ch chan int) int {
 	return <-ch // want `blocking channel receive on the worker-budget path`
@@ -40,6 +44,34 @@ func condWait(c *sync.Cond) {
 func drain(wg *sync.WaitGroup) {
 	//repro:allow tokenhold shutdown drain after every worker has exited; no budget token is held here
 	wg.Wait()
+}
+
+// A wait wrapped in a function literal passed to runner.Lend is the lend
+// protocol itself: the token is released before the wait runs and
+// reacquired after, so the parked goroutine holds nothing. Clean, no allow
+// needed.
+func lent(ch chan int) (v int) {
+	runner.Lend(func() { v = <-ch })
+	return v
+}
+
+// All wait forms are sanctioned inside the lent literal, including nested
+// closures within it.
+func lentAll(wg *sync.WaitGroup, a, b chan int) {
+	runner.Lend(func() {
+		wg.Wait()
+		select {
+		case <-a:
+		case <-b:
+		}
+		func() { <-a }()
+	})
+}
+
+// Only the function-literal argument is sanctioned: a wait evaluated while
+// building Lend's arguments runs before Lend is entered, token still held.
+func lentArgEval(ch chan int, waits []func()) {
+	runner.Lend(waits[<-ch]) // want `blocking channel receive on the worker-budget path`
 }
 
 // Wait methods from other packages (not sync) are not flagged.

@@ -51,6 +51,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -281,8 +282,11 @@ func (s *Store) DoSpan(key Key, sp *obs.Span, compute func() (metrics.Run, error
 	if f, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.dedup.Add(1)
-		//repro:allow tokenhold known worker-budget idle spot (ROADMAP "cold cells" item): a singleflight waiter parks here holding its caller's budget token; fix direction is a lend-the-token protocol so the winner can use the waiter's core
-		<-f.done
+		// A singleflight waiter lends its worker-budget token back to the
+		// pool while parked on the winning flight, so the core it was
+		// entitled to computes other cells instead of idling behind a
+		// duplicate key.
+		runner.Lend(func() { <-f.done })
 		endLookup()
 		sp.SetOutcome("dedup")
 		return f.run, f.err

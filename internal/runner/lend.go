@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The lend protocol lets a goroutine that holds a worker-budget token give
+// the token back to the pool for the duration of a blocking wait, so the
+// core it was entitled to can run someone else's work instead of idling.
+// Two waits in this repository need it: a nested Stream's caller draining
+// its pool's result slots, and an rcache singleflight waiter parked on the
+// winning flight's completion. Both previously sat on their token for the
+// whole wait (audited as reprolint tokenhold debt); both now route through
+// Lend.
+//
+// Only goroutines known to hold a token may lend one — lending from an
+// unregistered goroutine would release a token nobody holds and let the
+// pool oversubscribe past its cap. Pool workers therefore register their
+// goroutine id for the span during which they hold a token, and Lend
+// degrades to a plain call of wait() on any other goroutine.
+
+// tokenHolders is the goroutine-id registry of live pool workers (and
+// lend-reacquired callers). Membership means "this goroutine currently
+// holds one budget token it is entitled to lend".
+var tokenHolders = struct {
+	sync.Mutex
+	ids map[uint64]struct{}
+}{ids: make(map[uint64]struct{})}
+
+func registerHolder(id uint64) {
+	tokenHolders.Lock()
+	tokenHolders.ids[id] = struct{}{}
+	tokenHolders.Unlock()
+}
+
+func unregisterHolder(id uint64) {
+	tokenHolders.Lock()
+	delete(tokenHolders.ids, id)
+	tokenHolders.Unlock()
+}
+
+func isHolder(id uint64) bool {
+	tokenHolders.Lock()
+	_, ok := tokenHolders.ids[id]
+	tokenHolders.Unlock()
+	return ok
+}
+
+// goid returns the current goroutine's id, parsed from the runtime.Stack
+// header ("goroutine N [running]: ..."). A stack dump costs on the order of
+// a microsecond — Lend and worker registration happen once per blocking
+// wait or per worker lifetime, not per job, so this never shows on the hot
+// path.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Lend releases the calling goroutine's worker-budget token for the
+// duration of wait, then reacquires one before returning. If the caller
+// does not hold a token (it is not a registered pool worker), wait runs
+// unchanged — so call sites do not need to know whether they are nested
+// inside a fan-out.
+//
+// The caller is deregistered while the token is out, so a wait that
+// indirectly reaches another Lend (say, a nested drain inside a yield
+// callback) no-ops instead of double-releasing. Reacquisition blocks until
+// a token frees; that cannot deadlock, because every held token belongs to
+// a worker that is executing a job to completion (then releasing) or is
+// itself parked inside Lend (having already released).
+func Lend(wait func()) {
+	id := goid()
+	if !isHolder(id) {
+		wait()
+		return
+	}
+	unregisterHolder(id)
+	budget.release()
+	lends.Add(1)
+	wait()
+	budget.acquire()
+	registerHolder(id)
+}
+
+// acquire blocks until a token is free. Only lend reacquisition uses this —
+// pool sizing try-acquires and degrades instead — so the spin is rare and
+// short-lived: a failed poll means some worker holds the token and is
+// making progress on a job.
+func (s *semaphore) acquire() {
+	for i := 0; !s.tryAcquire(); i++ {
+		if i < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -188,8 +188,16 @@ func streamWorkers[T any](workers, limit int, jobs []Job[T], yield func(i int, v
 	active.Store(int64(workers))
 	var worker func()
 	worker = func() {
+		// Register as a token holder for the lend protocol (lend.go): a job
+		// that parks on a singleflight or a nested drain may give this
+		// worker's token back to the pool for the wait. Deregistration runs
+		// before the deferred release, so the goroutine is never registered
+		// without a token.
+		id := goid()
+		registerHolder(id)
 		defer wg.Done()
 		defer budget.release()
+		defer unregisterHolder(id)
 		defer active.Add(-1)
 		for {
 			// Top up: if under the cap with jobs still unclaimed and a
@@ -225,17 +233,23 @@ func streamWorkers[T any](workers, limit int, jobs []Job[T], yield func(i int, v
 		go worker()
 	}
 
+	// A nested Stream's caller reaches this drain while holding the token
+	// its parent fan-out gave it; Lend returns that token to the pool for
+	// the duration (the pool's own top-up logic can then claim it for a
+	// reinforcement worker), and reacquires it before the stream returns.
+	// For a top-level caller with no token, Lend is a plain call.
 	var yerr error
-	for i := 0; i < n; i++ {
-		//repro:allow tokenhold known worker-budget idle spot (ROADMAP "cold cells" item): a nested Stream's caller drains results here while still holding the token its parent fan-out gave it; fix direction is lending that token to the pool or caller-participation in the work
-		r := <-slots[i]
-		if yerr != nil {
-			continue // draining only
+	Lend(func() {
+		for i := 0; i < n; i++ {
+			r := <-slots[i]
+			if yerr != nil {
+				continue // draining only
+			}
+			if yerr = yield(i, r.v, r.err); yerr != nil {
+				cancelled.Store(true)
+			}
 		}
-		if yerr = yield(i, r.v, r.err); yerr != nil {
-			cancelled.Store(true)
-		}
-	}
+	})
 	//repro:allow tokenhold bounded drain: every slot has been received, so all workers are past their last job and exiting; the wait is O(defer) and releases the tokens
 	wg.Wait()
 	return yerr

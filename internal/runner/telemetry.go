@@ -21,6 +21,10 @@ var (
 	inflight atomic.Int64
 	// jobsDone counts jobs executed to completion since process start.
 	jobsDone atomic.Int64
+	// lends counts budget tokens returned to the pool across a blocking
+	// wait via Lend (lend.go) — each is a core-idle span converted into
+	// schedulable capacity.
+	lends atomic.Int64
 )
 
 // Telemetry is a snapshot of the runner's execution state.
@@ -30,6 +34,7 @@ type Telemetry struct {
 	QueueDepth  int64 // jobs submitted but not yet claimed
 	InFlight    int64 // jobs executing right now
 	JobsDone    int64 // jobs completed since process start
+	Lends       int64 // tokens lent back to the pool across blocking waits
 }
 
 // Snapshot returns the current telemetry. Gauges are instantaneous and may
@@ -41,6 +46,7 @@ func Snapshot() Telemetry {
 		QueueDepth:  queued.Load(),
 		InFlight:    inflight.Load(),
 		JobsDone:    jobsDone.Load(),
+		Lends:       lends.Load(),
 	}
 }
 
@@ -57,6 +63,8 @@ func RegisterMetrics(r *obs.Registry) {
 		func() float64 { return float64(inflight.Load()) })
 	r.CounterFunc("runner_jobs_total", "", "jobs executed to completion",
 		func() int64 { return jobsDone.Load() })
+	r.CounterFunc("runner_token_lends_total", "", "budget tokens lent back to the pool across blocking waits",
+		func() int64 { return lends.Load() })
 }
 
 // claimJob moves one job from queued to in-flight.

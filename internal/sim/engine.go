@@ -18,6 +18,8 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -31,15 +33,18 @@ import (
 // no experiment in the suite comes within orders of magnitude of it.
 const hardLimit = int64(1) << 40
 
-// coreState is one simulated processor.
+// coreState is one simulated processor. Its next-event time lives in the
+// engine's dense nextAt array, not here: the event-selection scan reads one
+// word per core, and packing those words into a single cache line (for ≤ 8
+// cores) makes the scan all but free, where striding full coreState structs
+// cost a host-cache miss per core per scan. Hot replay fields lead.
 type coreState struct {
-	rec       trace.Recorder
 	task      *dag.Node
 	actions   []trace.Action
 	ip        int
-	nextAt    int64
 	busy      int64
 	taskStart int64 // dispatch cycle of the current task (timeline capture)
+	rec       trace.Recorder
 }
 
 // Engine drives one program (one DAG) over a hierarchy. Multiprogramming
@@ -52,9 +57,18 @@ type Engine struct {
 	hier  *cache.Hierarchy
 
 	cores   []coreState
+	nextAt  []int64 // per-core next event time, dense for the refill scan
 	pending []int32
 	done    int
 	now     int64
+
+	// Calendar wheel for event selection (see RunUntil). wheel[s] is the
+	// bitmask of cores whose next event is at cycle wheelBase+s; wheelOcc
+	// marks non-empty slots. Persistent across RunUntil calls so RunFor
+	// quanta resume mid-window.
+	wheel     [wheelSlots]uint64
+	wheelOcc  uint64
+	wheelBase int64
 
 	// Premature-node tracking (depth-first fidelity).
 	doneByDF     []bool
@@ -106,12 +120,36 @@ func New(cfg machine.Config, g *dag.Graph, sched core.Scheduler, hier *cache.Hie
 		sched:    sched,
 		hier:     hier,
 		cores:    make([]coreState, cfg.Cores),
+		nextAt:   make([]int64, cfg.Cores),
 		pending:  g.InDegrees(),
 		doneByDF: make([]bool, g.Len()),
+	}
+	for i := range e.cores {
+		if b, ok := recBufPool.Get().(*[]trace.Action); ok {
+			e.cores[i].rec.Adopt(*b)
+		}
 	}
 	sched.Reset(cfg.Cores, g)
 	sched.Push(0, g.Root())
 	return e
+}
+
+// recBufPool recycles trace.Recorder buffers across engines: a cold sweep
+// builds one engine per cell, and without pooling every cell re-grows each
+// core's action buffer from zero. Buffer capacity never affects simulation
+// output, so pool nondeterminism is invisible.
+var recBufPool sync.Pool
+
+// Recycle returns the engine's recorder buffers to the shared pool. Call it
+// once the engine is finished (after Result); the engine remains usable,
+// its recorders simply re-grow from empty.
+func (e *Engine) Recycle() {
+	for i := range e.cores {
+		b := e.cores[i].rec.Detach()
+		if cap(b) > 0 {
+			recBufPool.Put(&b)
+		}
+	}
 }
 
 // Hierarchy returns the engine's memory system.
@@ -137,68 +175,178 @@ func (e *Engine) Run() metrics.Run {
 	simRuns.Add(1)
 	simCycles.Add(e.now)
 	simInstrs.Add(e.instructions)
+	e.Recycle()
 	return r
 }
 
+// wheelSlots is the calendar wheel's window width in cycles. 64 lets the
+// slot occupancy live in one machine word, and covers the common event
+// horizon: L1 hits (+1), L2 trips (+15), idle re-polls (+50) all land back
+// inside the window, so only DRAM fills and long compute runs take the
+// slow (refill) path.
+const wheelSlots = 64
+
 // RunUntil advances the simulation until every node is done or the clock
 // reaches limit, whichever is first.
+//
+// Event selection is a calendar wheel rather than a per-event scan over
+// cores: slot s of the wheel holds a bitmask of the cores whose next event
+// falls at cycle wheelBase+s, and a one-word occupancy mask (wheelOcc) marks
+// the non-empty slots. The next event is then two TrailingZeros64 — lowest
+// occupied slot, lowest core id in it — which reproduces the stepwise
+// semantics exactly: the popped event is the global (time, core-id)
+// lexicographic minimum, because every core beyond the window is at least
+// wheelSlots cycles away (established at refill, and event times never
+// decrease), and bit order within a slot IS ascending core id, the
+// tie-break the engine has always used. When the window drains, one
+// O(cores) scan of the dense nextAt array re-bases the wheel at the new
+// minimum. The upshot: the old O(cores) selection scan — the hottest lines
+// in cold-sweep profiles — runs once per drained window instead of once per
+// event, and a core streaming consecutive actions (nextAt stepping +1) pops
+// itself back-to-back with O(1) work, subsuming the batch-advance special
+// case.
 func (e *Engine) RunUntil(limit int64) {
+	hier := e.hier
+	nextAt := e.nextAt
+	shift := hier.LineShift()
 	for !e.Done() {
-		c := e.nextCore()
-		t := e.cores[c].nextAt
+		if e.wheelOcc == 0 {
+			// Refill: re-base the window at the earliest pending event and
+			// enqueue every core within it. Cores beyond the window stay
+			// out; they are reconsidered at the next refill, and cannot be
+			// due before anything enqueued here.
+			min := nextAt[0]
+			for i := 1; i < len(nextAt); i++ {
+				if nextAt[i] < min {
+					min = nextAt[i]
+				}
+			}
+			if min >= limit {
+				e.now = limit
+				return
+			}
+			e.wheelBase = min
+			for i, at := range nextAt {
+				if d := uint64(at - min); d < wheelSlots {
+					e.wheel[d] |= 1 << uint(i)
+					e.wheelOcc |= 1 << d
+				}
+			}
+		}
+		slot := bits.TrailingZeros64(e.wheelOcc)
+		t := e.wheelBase + int64(slot)
+		// The popped slot is the global minimum event time, so only it can
+		// end the run at limit. Check before popping: the event stays
+		// queued for a later RunUntil with a higher limit.
 		if t >= limit {
 			e.now = limit
 			return
 		}
+		coreMask := e.wheel[slot]
+		c := bits.TrailingZeros64(coreMask)
+		coreMask &= coreMask - 1 // pop lowest core id
+		e.wheel[slot] = coreMask
+		if coreMask == 0 {
+			e.wheelOcc &^= 1 << uint(slot)
+		}
+
 		e.now = t
-		e.step(c)
+		cs := &e.cores[c]
+		completed := false
+		if cs.task == nil {
+			e.dispatch(c)
+		} else if ip := cs.ip; ip < len(cs.actions) {
+			// bound is the earliest possible event time of any OTHER core:
+			// the wheel's next occupied slot, or past the window if none
+			// (cores outside the window are ≥ wheelBase+wheelSlots by the
+			// refill invariant). Current as of this pop, and stepping c
+			// never moves another core's nextAt, so it stays valid across
+			// the whole fused run below.
+			bound := e.wheelBase + wheelSlots
+			if e.wheelOcc != 0 {
+				bound = e.wheelBase + int64(bits.TrailingZeros64(e.wheelOcc))
+			}
+			// Local copies keep the fused loop free of repeated loads
+			// through cs (the compiler cannot prove AccessLine leaves
+			// cs.actions and e.instructions alone).
+			actions := cs.actions
+			instructions := int64(0)
+			a := actions[ip]
+			ip++
+			start := t
+			var done int64
+			for {
+				if a.Kind == trace.Compute {
+					done = t + int64(a.N)
+					instructions += int64(a.N)
+				} else {
+					// Pre-split the access so the common case — a read or
+					// write within one cache line — takes the inlinable
+					// single-line entry point (one call per event, not two).
+					write := a.Kind == trace.Store
+					off := uint64(a.Addr)
+					size := uint64(a.N)
+					if size == 0 {
+						size = 1 // Access's size<=0 clamp, preserved
+					}
+					first := off >> shift
+					if (off+size-1)>>shift == first {
+						done = hier.AccessLine(c, first, write, t)
+					} else {
+						done = hier.Access(c, a.Addr, int(a.N), write, t)
+					}
+					instructions++
+				}
+				// Fuse the next action into this pop when doing so is
+				// provably order-identical to stepwise execution. The next
+				// action's event time is done; it may be absorbed if it
+				// would be replayed within this call anyway (done < limit)
+				// and absorbing cannot reorder operations on state shared
+				// with other cores:
+				//   - a Compute touches only this core's clock and the
+				//     instruction counter (observed only at return), so it
+				//     commutes with anything and always fuses;
+				//   - a memory action operates on the shared hierarchy and
+				//     bus, whose internal state (LRU clock, bus queue)
+				//     advances in call order, so it fuses only when every
+				//     other core's next event is strictly later (done <
+				//     bound) — then stepwise would have replayed it next,
+				//     in exactly this order.
+				if ip >= len(actions) || done >= limit {
+					break
+				}
+				next := actions[ip]
+				if next.Kind != trace.Compute && done >= bound {
+					break
+				}
+				a = next
+				ip++
+				t = done
+			}
+			cs.ip = ip
+			cs.busy += done - start
+			e.instructions += instructions
+			nextAt[c] = done
+		} else {
+			e.complete(c)
+			completed = true
+		}
+
+		// Re-enqueue the core's next event if it lands inside the window
+		// (event times never decrease, so the slot index cannot go
+		// negative). Out-of-window events wait for a refill.
+		if d := uint64(nextAt[c] - e.wheelBase); d < wheelSlots {
+			e.wheel[d] |= 1 << uint(c)
+			e.wheelOcc |= 1 << d
+		}
+		if completed && e.Done() {
+			return
+		}
 	}
 }
 
 // RunFor advances the simulation by delta cycles from the current clock.
 func (e *Engine) RunFor(delta int64) { e.RunUntil(e.now + delta) }
-
-// nextCore picks the core with the earliest pending event, lowest id first.
-// Core counts are <= 64, so a linear scan beats heap bookkeeping.
-func (e *Engine) nextCore() int {
-	best := 0
-	bestAt := e.cores[0].nextAt
-	for i := 1; i < len(e.cores); i++ {
-		if e.cores[i].nextAt < bestAt {
-			best, bestAt = i, e.cores[i].nextAt
-		}
-	}
-	return best
-}
-
-// step advances core c by one event at e.now.
-func (e *Engine) step(c int) {
-	cs := &e.cores[c]
-	if cs.task == nil {
-		e.dispatch(c)
-		return
-	}
-	if cs.ip < len(cs.actions) {
-		a := cs.actions[cs.ip]
-		cs.ip++
-		var done int64
-		switch a.Kind {
-		case trace.Compute:
-			done = e.now + int64(a.N)
-			e.instructions += int64(a.N)
-		case trace.Load:
-			done = e.hier.Access(c, a.Addr, int(a.N), false, e.now)
-			e.instructions++
-		case trace.Store:
-			done = e.hier.Access(c, a.Addr, int(a.N), true, e.now)
-			e.instructions++
-		}
-		cs.busy += done - e.now
-		cs.nextAt = done
-		return
-	}
-	e.complete(c)
-}
 
 // dispatch asks the scheduler for work for idle core c.
 func (e *Engine) dispatch(c int) {
@@ -211,7 +359,7 @@ func (e *Engine) dispatch(c int) {
 			wait = e.cfg.IdleRetry
 		}
 		e.idleCycles += wait
-		cs.nextAt = e.now + wait
+		e.nextAt[c] = e.now + wait
 		return
 	}
 	cs.task = n
@@ -222,7 +370,7 @@ func (e *Engine) dispatch(c int) {
 		n.Run(&cs.rec)
 	}
 	cs.actions = cs.rec.Actions()
-	cs.nextAt = e.now + cost + e.cfg.SpawnOverhead
+	e.nextAt[c] = e.now + cost + e.cfg.SpawnOverhead
 }
 
 // complete finishes core c's task at e.now, releasing children.
@@ -231,7 +379,7 @@ func (e *Engine) complete(c int) {
 	n := cs.task
 	cs.task = nil
 	cs.actions = nil
-	cs.nextAt = e.now
+	e.nextAt[c] = e.now
 
 	e.done++
 	if e.CaptureOrder {

@@ -71,6 +71,19 @@ type Recorder struct {
 // Reset clears the recorder, retaining capacity.
 func (r *Recorder) Reset() { r.actions = r.actions[:0] }
 
+// Adopt hands the recorder a previously-detached buffer to record into,
+// so buffer capacity can be recycled across simulation runs instead of
+// re-grown from zero by each one. Contents are discarded.
+func (r *Recorder) Adopt(buf []Action) { r.actions = buf[:0] }
+
+// Detach surrenders the recorder's buffer to the caller (for pooling) and
+// leaves the recorder empty but usable.
+func (r *Recorder) Detach() []Action {
+	b := r.actions
+	r.actions = nil
+	return b
+}
+
 // Actions returns the recorded stream. The slice is owned by the recorder
 // and is invalidated by the next Reset.
 func (r *Recorder) Actions() []Action { return r.actions }

@@ -90,8 +90,16 @@ func runCells(quick bool, cells []cell) ([]metrics.Run, error) {
 // identity, so a CPU profile taken over a sweep (`sweep -cpuprofile`)
 // attributes samples to cells, and under a Tracer span (when tracing is on)
 // timing the execution phases.
-func runCell(c cell, quick bool) (r metrics.Run, err error) {
-	sp := Tracer.StartSpan(c.spec.String(), c.cfg.Name, c.sched, quick)
+func runCell(c cell, quick bool) (metrics.Run, error) {
+	return runCellTraced(c, quick, Tracer)
+}
+
+// runCellTraced is runCell with an explicit tracer: the registry path
+// records spans on the package-level Tracer, while the job service
+// (internal/jobs) hands every grid its own per-job tracer so one service
+// process can attribute spans to submissions.
+func runCellTraced(c cell, quick bool, tr *obs.Tracer) (r metrics.Run, err error) {
+	sp := tr.StartSpan(c.spec.String(), c.cfg.Name, c.sched, quick)
 	defer sp.Finish()
 	labels := pprof.Labels("workload", c.spec.Name, "config", c.cfg.Name, "sched", c.sched)
 	pprof.Do(context.Background(), labels, func(context.Context) {
@@ -233,23 +241,66 @@ func Run(id string, quick bool) (*Result, error) {
 }
 
 // RunGrid executes a declarative scenario grid: its cells are enumerated in
-// the grid's canonical order and flow through runCells — the same budgeted
-// runner, instance pool, and content-addressed cache path every registry
-// experiment uses — then the grid projects its table from the results.
-// quick is part of each cell's cache identity exactly as for registry
-// experiments; user-authored grids always run with quick=false (their sizes
-// are explicit), which also lets them share warm cells with full-size
-// registry sweeps and cmpsim.
+// the grid's canonical order and flow through the same budgeted runner,
+// instance pool, and content-addressed cache path every registry experiment
+// uses — then the grid projects its table from the results. quick is part of
+// each cell's cache identity exactly as for registry experiments;
+// user-authored grids always run with quick=false (their sizes are
+// explicit), which also lets them share warm cells with full-size registry
+// sweeps and cmpsim.
 func RunGrid(g *grid.Grid, quick bool) (*Result, error) {
+	return RunGridStream(context.Background(), g, quick, Tracer, nil)
+}
+
+// RunGridStream is RunGrid for long-running callers (the sweepd job
+// service): identical execution and results — the same cells in the same
+// canonical order through the same runner/pool/cache path, so the projected
+// tables are byte-identical to RunGrid's — plus three service affordances:
+//
+//   - ctx cancels between cells: in-flight cells complete (a simulation is
+//     never abandoned half-observed), unstarted cells are skipped, and the
+//     ctx error is returned wrapped with the grid id.
+//   - tr scopes spans to this call instead of the package-level Tracer, so a
+//     service process can attribute spans per submission. Pass Tracer (or
+//     nil) to keep the CLI behavior.
+//   - progress, when non-nil, is called after each cell completes in
+//     canonical order with (done, total) — done is strictly increasing, so
+//     callers can derive percent-complete without locking. It is invoked on
+//     the calling goroutine's yield path and must not block.
+func RunGridStream(ctx context.Context, g *grid.Grid, quick bool, tr *obs.Tracer, progress func(done, total int)) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	gcells := g.Cells()
-	cells := make([]cell, len(gcells))
+	n := len(gcells)
+	cells := make([]cell, n)
 	for i, c := range gcells {
 		cells[i] = cell{cfg: c.Config, spec: c.Spec, sched: c.Sched}
 	}
-	runs, err := runCells(quick, cells)
+	jobs := make([]runner.Job[metrics.Run], n)
+	for i, c := range cells {
+		jobs[i] = func() (metrics.Run, error) {
+			// Checked at claim time: a cancelled grid stops starting cells
+			// immediately instead of waiting for the yield path to notice.
+			if err := ctx.Err(); err != nil {
+				return metrics.Run{}, err
+			}
+			return runCellTraced(c, quick, tr)
+		}
+	}
+	runs := make([]metrics.Run, n)
+	done := 0
+	err := runner.Stream(Parallelism, jobs, func(i int, v metrics.Run, err error) error {
+		if err != nil {
+			return err
+		}
+		runs[i] = v
+		done++
+		if progress != nil {
+			progress(done, n)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", g.ID, err)
 	}

@@ -1,0 +1,566 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/rcache"
+)
+
+// tinyDef is a 1-cell definition small enough that every test that really
+// simulates stays fast.
+const tinyDef = `{"workload":["mergesort"],"n":[4096],"grain":[1024],"cores":[1],"sched":["pdf"]}`
+
+// smallDef is an 8-cell definition exercising multi-axis enumeration and the
+// default pdf/ws projection; still quick at n=4096.
+const smallDef = `{"workload":["mergesort","spmv"],"n":[4096],"grain":[1024],"iters":[2],"cores":[1,2],"sched":["pdf","ws"],"speedup":true}`
+
+// newTestAPI wires a manager over a fresh in-memory store so per-test cache
+// state never leaks between tests, and tears the manager down with the test.
+func newTestAPI(t *testing.T, cfg Config) (*Manager, *API) {
+	t.Helper()
+	prev := exp.Cache
+	exp.Cache = rcache.NewMemory()
+	t.Cleanup(func() { exp.Cache = prev })
+	m := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg)
+	return m, NewAPI(m, reg)
+}
+
+// renderCLI reproduces cmd/sweep's print loop exactly: fmt.Println(t) is
+// t.String() plus a newline, and -csv prints t.CSV() verbatim.
+func renderCLI(res *exp.Result) (table, csv string) {
+	var tb, cb strings.Builder
+	for _, t := range res.Tables {
+		tb.WriteString(t.String())
+		tb.WriteByte('\n')
+		cb.WriteString(t.CSV())
+	}
+	return tb.String(), cb.String()
+}
+
+func postJob(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeStatus(t *testing.T, rec *httptest.ResponseRecorder) Status {
+	t.Helper()
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return st
+}
+
+// waitTerminal blocks until the job leaves the queue/executor and returns its
+// final status.
+func waitTerminal(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	j := m.Get(id)
+	if j == nil {
+		t.Fatalf("job %s not found", id)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("job %s did not reach a terminal state", id)
+	}
+	return m.Status(j)
+}
+
+// waitRunning blocks until the executor has a job in the running state.
+func waitRunning(t *testing.T, m *Manager) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := m.Stats(); st.Running == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no job entered the running state")
+}
+
+// waitDraining blocks until Shutdown has flipped the draining flag.
+func waitDraining(t *testing.T, m *Manager) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Draining() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("manager never started draining")
+}
+
+func TestSubmitValidationRejects(t *testing.T) {
+	_, api := newTestAPI(t, Config{})
+	cases := []struct {
+		name, body string
+		wantCode   int
+		wantIn     string
+	}{
+		{"bad json", `{`, 400, "grid:"},
+		{"unknown field", `{"workload":["mergesort"],"cores":[1],"wrokload":["x"]}`, 400, "unknown field"},
+		{"unknown workload", `{"workload":["nope"],"cores":[1]}`, 400, "unknown workload"},
+		{"unknown sched", `{"workload":["mergesort"],"cores":[1],"sched":["lifo"]}`, 400, "unknown scheduler"},
+		{"cores out of range", `{"workload":["mergesort"],"cores":[999]}`, 400, "cores must be in"},
+		{"missing cores", `{"workload":["mergesort"]}`, 400, "cores"},
+	}
+	for _, tc := range cases {
+		rec := postJob(t, api, tc.body)
+		if rec.Code != tc.wantCode {
+			t.Errorf("%s: code = %d, want %d (body %q)", tc.name, rec.Code, tc.wantCode, rec.Body.String())
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), tc.wantIn) {
+			t.Errorf("%s: body %q does not mention %q", tc.name, rec.Body.String(), tc.wantIn)
+		}
+	}
+}
+
+func TestQuotaRejects413(t *testing.T) {
+	_, api := newTestAPI(t, Config{MaxCells: 4})
+	rec := postJob(t, api, smallDef) // 8 cells > 4
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d, want 413 (body %q)", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "quota") {
+		t.Fatalf("body %q does not mention the quota", rec.Body.String())
+	}
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	m, api := newTestAPI(t, Config{})
+	rec := postJob(t, api, tinyDef)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit code = %d (body %q)", rec.Code, rec.Body.String())
+	}
+	st := decodeStatus(t, rec)
+	if st.CellsTotal != 1 || st.State == "" {
+		t.Fatalf("unexpected submit status: %+v", st)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state = %s (err %q)", fin.State, fin.Error)
+	}
+	if fin.CellsDone != 1 || fin.Percent != 100 {
+		t.Fatalf("progress not complete: %+v", fin)
+	}
+	if fin.SubmittedAt == "" || fin.StartedAt == "" || fin.FinishedAt == "" {
+		t.Fatalf("missing timestamps: %+v", fin)
+	}
+
+	// The rendered bodies must match what `sweep -grid` would print.
+	def, err := grid.ParseDef([]byte(tinyDef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := def.Resolve(exp.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.RunGrid(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTable, wantCSV := renderCLI(res)
+
+	req := httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/result", nil)
+	out := httptest.NewRecorder()
+	api.ServeHTTP(out, req)
+	if out.Code != 200 || out.Body.String() != wantTable {
+		t.Fatalf("table result: code %d\n got %q\nwant %q", out.Code, out.Body.String(), wantTable)
+	}
+	if ct := out.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("table Content-Type = %q", ct)
+	}
+
+	req = httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/result", nil)
+	req.Header.Set("Accept", "text/csv")
+	out = httptest.NewRecorder()
+	api.ServeHTTP(out, req)
+	if out.Code != 200 || out.Body.String() != wantCSV {
+		t.Fatalf("csv result: code %d\n got %q\nwant %q", out.Code, out.Body.String(), wantCSV)
+	}
+	if ct := out.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("csv Content-Type = %q", ct)
+	}
+
+	// ?format=csv is the curl-friendly spelling of the Accept header.
+	req = httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/result?format=csv", nil)
+	out = httptest.NewRecorder()
+	api.ServeHTTP(out, req)
+	if out.Body.String() != wantCSV {
+		t.Fatal("?format=csv differs from Accept: text/csv")
+	}
+
+	// The trace endpoint serves one valid span record per cell.
+	req = httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/trace", nil)
+	out = httptest.NewRecorder()
+	api.ServeHTTP(out, req)
+	recs, err := obs.ReadJSONL(out.Body)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("trace: %d records, want 1", len(recs))
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	_, api := newTestAPI(t, Config{})
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/events", "/v1/jobs/nope/trace"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s: code = %d, want 404", path, rec.Code)
+		}
+	}
+	req := httptest.NewRequest("DELETE", "/v1/jobs/nope", nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("DELETE: code = %d, want 404", rec.Code)
+	}
+}
+
+// TestServiceMatchesCLI is the correctness contract: the same definition
+// submitted to the service returns table and CSV byte-identical to `sweep
+// -grid` (represented by exp.RunGrid plus cmd/sweep's exact print loop), and
+// a second submission against the same store is served entirely from the
+// cache.
+func TestServiceMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 8 full-size (n=4096) cells; skipped under -short")
+	}
+	m, api := newTestAPI(t, Config{})
+
+	// CLI side first, against its own private store, as a separate process
+	// would run: byte-identity must come from determinism, not from sharing
+	// the service's cache.
+	prev := exp.Cache
+	exp.Cache = rcache.NewMemory()
+	def, err := grid.ParseDef([]byte(smallDef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := def.Resolve(exp.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.RunGrid(g, false)
+	exp.Cache = prev
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTable, wantCSV := renderCLI(res)
+
+	rec := postJob(t, api, smallDef)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", rec.Code, rec.Body.String())
+	}
+	first := decodeStatus(t, rec)
+	fin := waitTerminal(t, m, first.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job 1: state %s (err %q)", fin.State, fin.Error)
+	}
+	table, csv, ok := m.Get(first.ID).Result()
+	if !ok {
+		t.Fatal("job 1: no result")
+	}
+	if table != wantTable {
+		t.Errorf("table differs from CLI:\n got %q\nwant %q", table, wantTable)
+	}
+	if csv != wantCSV {
+		t.Errorf("csv differs from CLI:\n got %q\nwant %q", csv, wantCSV)
+	}
+	if fin.CellsTotal != 8 || fin.CellsDone != 8 {
+		t.Fatalf("cells: %+v", fin)
+	}
+
+	// Warm resubmission: 100% cache hits, zero misses, identical bytes.
+	rec = postJob(t, api, smallDef)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", rec.Code)
+	}
+	second := decodeStatus(t, rec)
+	fin2 := waitTerminal(t, m, second.ID)
+	if fin2.State != StateDone {
+		t.Fatalf("job 2: state %s (err %q)", fin2.State, fin2.Error)
+	}
+	if fin2.CacheMisses != 0 || fin2.CacheHits != 8 {
+		t.Fatalf("job 2 cache tally: hits=%d misses=%d, want 8/0", fin2.CacheHits, fin2.CacheMisses)
+	}
+	table2, csv2, _ := m.Get(second.ID).Result()
+	if table2 != wantTable || csv2 != wantCSV {
+		t.Fatal("warm resubmission output differs")
+	}
+}
+
+// TestSSEStream drives /events over a real HTTP server (SSE needs the
+// flusher and a streaming body): a status event first, then progress, then
+// exactly one end event carrying the terminal state, then EOF.
+func TestSSEStream(t *testing.T) {
+	_, api := newTestAPI(t, Config{})
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	rec := postJob(t, api, tinyDef)
+	st := decodeStatus(t, rec)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	type sse struct {
+		event string
+		data  Event
+	}
+	var events []sse
+	cur := sse{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		case line == "":
+			events = append(events, cur)
+			cur = sse{}
+		default:
+			t.Fatalf("malformed SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("only %d events: %+v", len(events), events)
+	}
+	if events[0].event != "status" {
+		t.Fatalf("first event = %q, want status", events[0].event)
+	}
+	last := events[len(events)-1]
+	if last.event != "end" {
+		t.Fatalf("last event = %q, want end", last.event)
+	}
+	if last.data.State != StateDone || last.data.CellsDone != 1 || last.data.Percent != 100 {
+		t.Fatalf("end data: %+v", last.data)
+	}
+	ends, done := 0, 0
+	for _, e := range events {
+		if e.event == "end" {
+			ends++
+		}
+		if e.data.CellsDone < done {
+			t.Fatalf("progress went backwards: %+v", events)
+		}
+		done = e.data.CellsDone
+	}
+	if ends != 1 {
+		t.Fatalf("%d end events, want exactly 1", ends)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	m, api := newTestAPI(t, Config{Queue: 1, RetryAfter: 7})
+	gate := make(chan struct{})
+	m.beforeRun = func(*Job) { <-gate }
+	defer close(gate)
+
+	// First job occupies the executor; second fills the one queue slot.
+	if rec := postJob(t, api, tinyDef); rec.Code != http.StatusAccepted {
+		t.Fatalf("job 1: %d", rec.Code)
+	}
+	waitRunning(t, m)
+	if rec := postJob(t, api, tinyDef); rec.Code != http.StatusAccepted {
+		t.Fatalf("job 2: %d", rec.Code)
+	}
+	rec := postJob(t, api, tinyDef)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("job 3: code = %d, want 429 (body %q)", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want 7", ra)
+	}
+	if st := m.Stats(); st.RejectedFull != 1 {
+		t.Fatalf("rejected_queue_full = %d", st.RejectedFull)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	m, api := newTestAPI(t, Config{Queue: 4})
+	gate := make(chan struct{})
+	m.beforeRun = func(*Job) { <-gate }
+
+	a := decodeStatus(t, postJob(t, api, tinyDef))
+	waitRunning(t, m)
+	b := decodeStatus(t, postJob(t, api, tinyDef))
+
+	// Queued job: DELETE finishes it cancelled immediately, without running.
+	req := httptest.NewRequest("DELETE", "/v1/jobs/"+b.ID, nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("cancel queued: %d", rec.Code)
+	}
+	bFin := waitTerminal(t, m, b.ID)
+	if bFin.State != StateCancelled || bFin.CellsDone != 0 {
+		t.Fatalf("queued cancel: %+v", bFin)
+	}
+
+	// Running job: DELETE cancels its context; the executor notices at the
+	// next cell boundary (here: before the first cell, since it is gated).
+	req = httptest.NewRequest("DELETE", "/v1/jobs/"+a.ID, nil)
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("cancel running: %d", rec.Code)
+	}
+	close(gate)
+	aFin := waitTerminal(t, m, a.ID)
+	if aFin.State != StateCancelled {
+		t.Fatalf("running cancel: state %s", aFin.State)
+	}
+
+	// Cancelling a terminal job is an idempotent no-op.
+	req = httptest.NewRequest("DELETE", "/v1/jobs/"+a.ID, nil)
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != 200 || decodeStatus(t, rec).State != StateCancelled {
+		t.Fatalf("re-cancel: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// A cancelled job has no result.
+	req = httptest.NewRequest("GET", "/v1/jobs/"+a.ID+"/result", nil)
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: code %d, want 409", rec.Code)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	m, api := newTestAPI(t, Config{Queue: 4})
+	gate := make(chan struct{})
+	m.beforeRun = func(*Job) { <-gate }
+
+	a := decodeStatus(t, postJob(t, api, tinyDef))
+	waitRunning(t, m)
+	b := decodeStatus(t, postJob(t, api, tinyDef))
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutdownDone <- m.Shutdown(ctx)
+	}()
+
+	// Draining: queued B is cancelled, new submissions get 503, healthz
+	// reports draining, the running job A is still going.
+	bFin := waitTerminal(t, m, b.ID)
+	if bFin.State != StateCancelled {
+		t.Fatalf("queued job on drain: %s", bFin.State)
+	}
+	waitDraining(t, m)
+	rec := postJob(t, api, tinyDef)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: code %d, want 503", rec.Code)
+	}
+	hreq := httptest.NewRequest("GET", "/healthz", nil)
+	hrec := httptest.NewRecorder()
+	api.ServeHTTP(hrec, hreq)
+	var h Health
+	if err := json.Unmarshal(hrec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("healthz status = %q, want draining", h.Status)
+	}
+
+	// Release the running job: it completes (done, not cancelled) and
+	// Shutdown returns cleanly.
+	close(gate)
+	aFin := waitTerminal(t, m, a.ID)
+	if aFin.State != StateDone {
+		t.Fatalf("running job after drain: %s (err %q)", aFin.State, aFin.Error)
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("shutdown never returned")
+	}
+}
+
+func TestStatsAndMetricsEndpoints(t *testing.T) {
+	m, api := newTestAPI(t, Config{})
+	st := decodeStatus(t, postJob(t, api, tinyDef))
+	waitTerminal(t, m, st.ID)
+
+	req := httptest.NewRequest("GET", "/stats", nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	var stats Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Submitted != 1 || stats.Done != 1 || stats.CellsDone != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"sweepd_jobs_submitted_total 1",
+		"sweepd_jobs_done_total 1",
+		"sweepd_cells_done_total 1",
+		`sweepd_jobs_rejected_total{reason="queue-full"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

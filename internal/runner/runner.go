@@ -7,8 +7,8 @@
 // the order in which cells *complete* varies between runs. The runner hides
 // that nondeterminism: results are always delivered in the order cells were
 // submitted, never the order they finished, so every consumer (cmd/sweep,
-// the exp tests, the benchmark harness) emits byte-identical output at any
-// parallelism level.
+// the sweepd job service via exp.RunGridStream, the exp tests, the
+// benchmark harness) emits byte-identical output at any parallelism level.
 //
 // # Worker budget
 //

@@ -1,4 +1,8 @@
-// Package testutil holds helpers shared by the repository's tests.
+// Package testutil holds helpers shared by the repository's tests — today
+// the reflection-based field perturbation the fingerprint-completeness
+// tests use to prove that every field of a cache-keyed struct participates
+// in its canonical encoding. It is imported only from _test files and must
+// never be reached by production code.
 package testutil
 
 import (

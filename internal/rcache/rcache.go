@@ -228,8 +228,8 @@ func (s *Store) Stats() Stats {
 		Corrupt:    s.corrupt.Load(),
 	}
 	if s.remote != nil {
-		st.RemoteStores = s.remote.stores.Load()
-		st.RemoteErrs = s.remote.errs.Load()
+		st.RemoteStores = s.remote.storesTotal()
+		st.RemoteErrs = s.remote.errsTotal()
 	}
 	return st
 }
@@ -248,8 +248,8 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("rcache_stores_total", "", "records written to the local disk tier", s.stores.Load)
 	r.CounterFunc("rcache_corrupt_total", "", "unreadable or mismatched disk records discarded", s.corrupt.Load)
 	if s.remote != nil {
-		r.CounterFunc("rcache_remote_stores_total", "", "write-backs acknowledged by the remote server", s.remote.stores.Load)
-		r.CounterFunc("rcache_remote_errors_total", "", "remote anomalies degraded to misses or drops", s.remote.errs.Load)
+		r.CounterFunc("rcache_remote_stores_total", "", "write-backs acknowledged by remote servers", s.remote.storesTotal)
+		r.CounterFunc("rcache_remote_errors_total", "", "remote anomalies degraded to misses or drops", s.remote.errsTotal)
 	}
 }
 

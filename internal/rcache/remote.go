@@ -13,7 +13,7 @@ import (
 	"repro/internal/metrics"
 )
 
-// The remote tier talks to a cmd/cached server, layered behind memory and
+// The remote tier talks to cmd/cached servers, layered behind memory and
 // disk in Store.fill. Two properties make a dumb GET/PUT server sufficient
 // and the layering safe:
 //
@@ -21,9 +21,202 @@ import (
 //     there is no coherence problem. An entry is immutable; two writers of
 //     the same key wrote the same record; a stale read is impossible.
 //   - Every tier degrades to "miss": a dead, slow, or corrupt remote must
-//     never fail a sweep, only cost it a recomputation. The first transport
-//     error latches the tier down for the rest of the process, so a sweep
-//     against an unreachable server pays one failed dial, not one per cell.
+//     never fail a sweep, only cost it a recomputation. A transport error
+//     latches that server down for a re-probe interval, so a sweep against
+//     an unreachable server pays one failed dial per interval, not one per
+//     cell — and a server that comes back is picked up by the next probe.
+//
+// This file is the per-server layer: one transport per cached instance,
+// owning its connection, its latch, and its counters. How a set of
+// transports composes into a tier — the consistent-hash ring, replication,
+// the shared write-back queue — lives in fleet.go.
+
+// maxEntryBytes bounds a record on the wire (and in the server): real
+// records are a few hundred bytes, so 8 MiB is pure paranoia against a
+// confused or malicious peer.
+const maxEntryBytes = 8 << 20
+
+// remoteTimeout bounds every request to a cache server. The server does
+// O(file read) work per request; anything slower than this is a sick server
+// the transport should latch away from rather than wait on.
+const remoteTimeout = 10 * time.Second
+
+// reprobeInterval is how long a latched transport stays down before one
+// caller is allowed through to probe the server again. Long enough that a
+// dead server costs a sweep a handful of failed dials rather than one per
+// cell; short enough that a restarted server rejoins within a human's
+// attention span. A var so tests can shrink it.
+var reprobeInterval = 5 * time.Second
+
+// transport is one cache server: its canonical base URL, its HTTP client,
+// its latch, and its counters. All methods are safe for concurrent use.
+//
+// The latch is a deadline, not a bool: a transport error latches the server
+// down until now+reprobeInterval. When the deadline passes, exactly one
+// caller (the winner of a CAS that extends the deadline) carries its real
+// request through as a probe; everyone else keeps missing cheaply. A
+// successful response — including a clean 404 — clears the latch, so a
+// server that was restarted rejoins the tier without operator action.
+type transport struct {
+	base   string // server root, no trailing slash; entries live under /cache/<version>/<key>
+	client *http.Client
+
+	// downUntil is 0 when the server is up, else the unix-nano deadline the
+	// latch holds until. Transitions: fail() arms it, a successful probe
+	// clears it.
+	downUntil atomic.Int64
+
+	gets    atomic.Int64 // GET requests actually sent (not latched short-circuits)
+	hits    atomic.Int64 // GETs answered 200 with a valid record
+	errs    atomic.Int64 // transport failures, bad statuses, corrupt responses, dropped write-backs
+	stores  atomic.Int64 // write-backs acknowledged by the server
+	latches atomic.Int64 // up->down transitions
+}
+
+// parseServerURL canonicalizes one server URL to scheme://host so that
+// equivalent spellings (trailing slash, path debris) collapse to one
+// transport identity — the ring hashes this string.
+func parseServerURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("rcache: remote %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("rcache: remote %q: need http(s)://host[:port]", raw)
+	}
+	return (&url.URL{Scheme: u.Scheme, Host: u.Host}).String(), nil
+}
+
+func newTransport(canonicalURL string) *transport {
+	return &transport{
+		base:   canonicalURL,
+		client: &http.Client{Timeout: remoteTimeout},
+	}
+}
+
+// url returns the entry URL for key on this server.
+func (t *transport) url(key Key) string {
+	return t.base + "/cache/" + liveVersionDir + "/" + key.String()
+}
+
+// latched reports whether the server is currently latched down. The latch
+// clears only on a successful probe, so a dead server reads latched even
+// between re-probe deadlines.
+func (t *transport) latched() bool { return t.downUntil.Load() != 0 }
+
+// admit decides whether a request may touch the network. Up: yes. Latched
+// with an unexpired deadline: no. Latched with an expired deadline: the one
+// caller that wins the deadline-extending CAS probes; the rest keep
+// missing. This bounds a dead server's cost to one timeout per
+// reprobeInterval however many goroutines are sweeping.
+func (t *transport) admit() bool {
+	u := t.downUntil.Load()
+	if u == 0 {
+		return true
+	}
+	now := time.Now().UnixNano()
+	if now < u {
+		return false
+	}
+	return t.downUntil.CompareAndSwap(u, now+int64(reprobeInterval))
+}
+
+// fail latches the server down for a re-probe interval. Only an up->down
+// transition counts an error, so a dead server costs one counter tick per
+// interval however many goroutines race into it.
+func (t *transport) fail() {
+	now := time.Now().UnixNano()
+	if t.downUntil.Swap(now+int64(reprobeInterval)) == 0 {
+		t.errs.Add(1)
+		t.latches.Add(1)
+	}
+}
+
+// ok clears the latch: the server answered, whatever it answered.
+func (t *transport) ok() { t.downUntil.Store(0) }
+
+// get fetches and validates one record from this server. Any anomaly —
+// transport error, bad status, oversized or corrupt body, a record for the
+// wrong key — is a miss; transport errors additionally latch the server
+// down for a re-probe interval.
+func (t *transport) get(key Key) (metrics.Run, bool) {
+	if !t.admit() {
+		return metrics.Run{}, false
+	}
+	t.gets.Add(1)
+	resp, err := t.client.Get(t.url(key))
+	if err != nil {
+		t.fail()
+		return metrics.Run{}, false
+	}
+	t.ok()
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return metrics.Run{}, false // clean miss: server healthy, entry absent
+	default:
+		t.errs.Add(1)
+		return metrics.Run{}, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil {
+		t.fail()
+		return metrics.Run{}, false
+	}
+	if len(b) > maxEntryBytes {
+		t.errs.Add(1)
+		return metrics.Run{}, false
+	}
+	run, ok := decodeRecord(b, key)
+	if !ok {
+		// A 200 with a body that is not this key's record: a confused proxy
+		// or a tampered entry. Counted and refused, but not worth latching
+		// the server down over one entry.
+		t.errs.Add(1)
+		return metrics.Run{}, false
+	}
+	t.hits.Add(1)
+	return run, true
+}
+
+// put synchronously PUTs an already-encoded record to this server. Called
+// from write-back workers, never the simulation path.
+func (t *transport) put(key Key, body []byte) {
+	if !t.admit() {
+		return // designed degradation: the latch already counted
+	}
+	req, err := http.NewRequest(http.MethodPut, t.url(key), bytes.NewReader(body))
+	if err != nil {
+		t.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		t.fail()
+		return
+	}
+	t.ok()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		t.errs.Add(1)
+		return
+	}
+	t.stores.Add(1)
+}
+
+type wbItem struct {
+	key  Key
+	body []byte
+}
+
+// remote is the tier Store.fill consults: one server (a fleet of them
+// arrives with fleet.go), plus the shared asynchronous write-back queue.
 //
 // Reads are read-through with local fill (a remote hit is persisted into the
 // local disk tier, so the next run doesn't need the network). Writes are
@@ -32,32 +225,8 @@ import (
 // short-lived CLI processes don't exit with results unsent. The queue is
 // bounded — if the server can't keep up, overflow write-backs are dropped
 // (and counted), never blocking the simulation path.
-
-// maxEntryBytes bounds a record on the wire (and in the server): real
-// records are a few hundred bytes, so 8 MiB is pure paranoia against a
-// confused or malicious peer.
-const maxEntryBytes = 8 << 20
-
-// remoteTimeout bounds every request to the cache server. The server does
-// O(file read) work per request; anything slower than this is a sick server
-// the tier should latch away from rather than wait on.
-const remoteTimeout = 10 * time.Second
-
-type wbItem struct {
-	key  Key
-	body []byte
-}
-
 type remote struct {
-	base   string // server root, no trailing slash; entries live under /cache/<version>/<key>
-	client *http.Client
-
-	// down latches on the first transport error: all later gets return miss
-	// and all later puts drop, without touching the network again.
-	down atomic.Bool
-
-	errs   atomic.Int64 // transport failures, bad statuses, corrupt responses, dropped write-backs
-	stores atomic.Int64 // write-backs acknowledged by the server
+	t *transport
 
 	mu     sync.Mutex // guards queue-vs-close
 	closed bool
@@ -74,17 +243,13 @@ const (
 )
 
 func newRemote(baseURL string) (*remote, error) {
-	u, err := url.Parse(baseURL)
+	canon, err := parseServerURL(baseURL)
 	if err != nil {
-		return nil, fmt.Errorf("rcache: remote %q: %w", baseURL, err)
-	}
-	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-		return nil, fmt.Errorf("rcache: remote %q: need http(s)://host[:port]", baseURL)
+		return nil, err
 	}
 	r := &remote{
-		base:   (&url.URL{Scheme: u.Scheme, Host: u.Host}).String(),
-		client: &http.Client{Timeout: remoteTimeout},
-		queue:  make(chan wbItem, writebackQueue),
+		t:     newTransport(canon),
+		queue: make(chan wbItem, writebackQueue),
 	}
 	for i := 0; i < writebackWorkers; i++ {
 		r.wg.Add(1)
@@ -93,67 +258,13 @@ func newRemote(baseURL string) (*remote, error) {
 	return r, nil
 }
 
-func (r *remote) url(key Key) string {
-	return r.base + "/cache/" + liveVersionDir + "/" + key.String()
-}
-
-// fail latches the tier down. Only the latching caller counts the error, so
-// a dead server costs one counter tick however many goroutines race into it.
-func (r *remote) fail() {
-	if !r.down.Swap(true) {
-		r.errs.Add(1)
-	}
-}
-
-// get fetches and validates one record. Any anomaly — transport error, bad
-// status, oversized or corrupt body, a record for the wrong key — is a miss;
-// transport errors additionally latch the tier down.
-func (r *remote) get(key Key) (metrics.Run, bool) {
-	if r.down.Load() {
-		return metrics.Run{}, false
-	}
-	resp, err := r.client.Get(r.url(key))
-	if err != nil {
-		r.fail()
-		return metrics.Run{}, false
-	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return metrics.Run{}, false // clean miss: server healthy, entry absent
-	default:
-		r.errs.Add(1)
-		return metrics.Run{}, false
-	}
-	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
-	if err != nil {
-		r.fail()
-		return metrics.Run{}, false
-	}
-	if len(b) > maxEntryBytes {
-		r.errs.Add(1)
-		return metrics.Run{}, false
-	}
-	run, ok := decodeRecord(b, key)
-	if !ok {
-		// A 200 with a body that is not this key's record: a confused proxy
-		// or a tampered entry. Counted and refused, but not worth latching
-		// the whole tier down over one entry.
-		r.errs.Add(1)
-		return metrics.Run{}, false
-	}
-	return run, true
-}
+func (r *remote) get(key Key) (metrics.Run, bool) { return r.t.get(key) }
 
 // put queues an asynchronous write-back of an already-encoded record. Never
 // blocks: a full queue drops the item (counted) — losing a write-back costs
 // a future recomputation, stalling the simulation path costs wall time now.
 func (r *remote) put(key Key, body []byte) {
-	if r.down.Load() {
+	if r.t.latched() {
 		return // designed degradation, not an error: the latch already counted
 	}
 	r.mu.Lock()
@@ -164,36 +275,20 @@ func (r *remote) put(key Key, body []byte) {
 	select {
 	case r.queue <- wbItem{key, body}:
 	default:
-		r.errs.Add(1)
+		r.t.errs.Add(1)
 	}
 }
 
 func (r *remote) worker() {
 	defer r.wg.Done()
 	for item := range r.queue {
-		if r.down.Load() {
-			continue // drain cheaply once degraded
-		}
-		req, err := http.NewRequest(http.MethodPut, r.url(item.key), bytes.NewReader(item.body))
-		if err != nil {
-			r.errs.Add(1)
-			continue
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := r.client.Do(req)
-		if err != nil {
-			r.fail()
-			continue
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-			r.errs.Add(1)
-			continue
-		}
-		r.stores.Add(1)
+		r.t.put(item.key, item.body)
 	}
 }
+
+// storesTotal and errsTotal aggregate the per-server counters for Stats.
+func (r *remote) storesTotal() int64 { return r.t.stores.Load() }
+func (r *remote) errsTotal() int64   { return r.t.errs.Load() }
 
 // close drains pending write-backs and stops the workers. Safe to call more
 // than once; puts after close are dropped silently.

@@ -580,3 +580,94 @@ func BenchmarkServerPut(b *testing.B) {
 		}
 	}
 }
+
+// TestRemoteLatchReprobesAndRecovers is the latch-granularity regression
+// test: a transport error latches the server down (misses are free, no
+// network), but the latch is a re-probe deadline, not a process-lifetime
+// sentence — once the server answers again, the same store's next lookup
+// probes, unlatches, and serves warm entries over the wire.
+func TestRemoteLatchReprobesAndRecovers(t *testing.T) {
+	defer func(old time.Duration) { reprobeInterval = old }(reprobeInterval)
+	reprobeInterval = 30 * time.Millisecond
+
+	srv, err := NewServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			panic(http.ErrAbortHandler) // slam the connection: a transport error, not a status
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	// Seed the server with warm entries through a healthy client.
+	seed := openRemoteStore(t, ts.URL)
+	want := testRun()
+	keys := make([]Key, 32)
+	for i := range keys {
+		keys[i] = Key{60, byte(i)}
+		if _, err := seed.Do(keys[i], func() (metrics.Run, error) { return want, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Close()
+	if st := srv.Stats(); st.Puts != int64(len(keys)) {
+		t.Fatalf("server stats %+v: want %d seeded entries", st, len(keys))
+	}
+
+	s := NewMemory()
+	if err := s.AttachRemote(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Server goes sick: the first lookup eats the transport error, latches,
+	// and computes; the rest miss without touching the network.
+	down.Store(true)
+	for i := 0; i < 3; i++ {
+		got, err := s.Do(Key{61, byte(i)}, func() (metrics.Run, error) { return want, nil })
+		if err != nil || got != want {
+			t.Fatalf("Do %d against sick server: run %+v err %v", i, got, err)
+		}
+	}
+	if st := s.Stats(); st.RemoteErrs != 1 || st.Misses != 3 {
+		t.Fatalf("stats %+v: want one latched error and local computes", st)
+	}
+
+	// Server returns. After the re-probe deadline the next lookup probes and
+	// the tier recovers — warm keys are served remotely again, on the same
+	// store that latched.
+	down.Store(false)
+	recovered := false
+	for i := 0; i < 200 && !recovered; i++ {
+		time.Sleep(5 * time.Millisecond)
+		computed := false
+		got, err := s.Do(keys[i%len(keys)], func() (metrics.Run, error) {
+			computed = true
+			return want, nil
+		})
+		if err != nil || got != want {
+			t.Fatalf("Do after recovery: run %+v err %v", got, err)
+		}
+		recovered = !computed
+	}
+	if !recovered {
+		t.Fatal("latched tier never recovered after the server returned")
+	}
+	st := s.Stats()
+	if st.RemoteHits == 0 {
+		t.Fatalf("stats %+v: recovery must serve remote hits", st)
+	}
+	// Write-backs recover too: a fresh computed cell reaches the server.
+	putsBefore := srv.Stats().Puts
+	if _, err := s.Do(Key{62}, func() (metrics.Run, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if st := srv.Stats(); st.Puts != putsBefore+1 {
+		t.Fatalf("server stats %+v: post-recovery write-back never landed", st)
+	}
+}

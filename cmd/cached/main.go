@@ -8,10 +8,13 @@
 //	cached -dir DIR -addr 127.0.0.1:8344              # explicit bind
 //	cached -dir DIR -max-bytes 268435456              # 256 MiB LRU budget
 //
-// Clients point -cache-remote at it:
+// Clients point -cache-remote at it — one server, or a comma-separated
+// fleet the client consistent-hashes keys across (see internal/rcache's
+// fleet layer; servers never know about each other):
 //
 //	sweep  -exp all -cache ~/.repro-cache -cache-remote http://host:8344
 //	cmpsim -workload spmv -cache-remote http://host:8344
+//	sweep  -exp all -cache-remote http://a:8344,http://b:8344,http://c:8344 -cache-replicas 1
 //
 // The HTTP surface (see internal/rcache's Server) is GET/HEAD/PUT on
 // /cache/<version>/<key> with ETag = "<key>" and conditional GET via

@@ -51,11 +51,16 @@
 //	                 bypass the cell cache, still simulates). Within one
 //	                 run, cells repeated across experiments are deduplicated
 //	                 in memory even without -cache.
-//	-cache-remote URL  layer a shared cached server (cmd/cached) behind the
-//	                 local tiers: cells missing locally are fetched from it
-//	                 (and filled into DIR), computed cells are written back
-//	                 asynchronously. A dead or sick server degrades to
-//	                 local-only — it never fails the sweep.
+//	-cache-remote URL[,URL...]  layer one or more shared cached servers
+//	                 (cmd/cached) behind the local tiers: cells missing
+//	                 locally are fetched from the fleet (and filled into
+//	                 DIR), computed cells are written back asynchronously.
+//	                 Multiple URLs shard keys by client-side consistent
+//	                 hashing; a dead or sick shard degrades only its ring
+//	                 segment to local-only — it never fails the sweep.
+//	-cache-replicas K  write each cell to its shard and K distinct ring
+//	                 successors, and read through the same set before
+//	                 declaring a miss, so one lost shard costs no warmth.
 //	-cache-stats     print hit/miss/inflight-dedup counters to stderr on
 //	                 exit, plus the workload instance pool's hit/evict line
 //	                 (cells that do simulate share one built instance per

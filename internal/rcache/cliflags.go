@@ -10,7 +10,8 @@ import (
 // combination rules instead of copy-pasting them.
 type CLI struct {
 	Dir      string // -cache: persistent directory; "" = in-memory only
-	Remote   string // -cache-remote: base URL of a cached server; "" = local-only
+	Remote   string // -cache-remote: comma-separated cached server URLs; "" = local-only
+	Replicas int    // -cache-replicas: extra ring successors each record is written to
 	Stats    bool   // -cache-stats: print counters to stderr on exit
 	Readonly bool   // -cache-readonly: consult but never write
 	GC       bool   // -cache-gc: prune dead schema versions and exit (sweep only)
@@ -23,7 +24,8 @@ type CLI struct {
 func RegisterCLI(fs *flag.FlagSet, withGC bool) *CLI {
 	c := &CLI{}
 	fs.StringVar(&c.Dir, "cache", "", "result-cache directory; empty = in-memory dedup only")
-	fs.StringVar(&c.Remote, "cache-remote", "", "base URL of a shared cache server (cmd/cached); misses fall through to it, computed cells write back")
+	fs.StringVar(&c.Remote, "cache-remote", "", "comma-separated URLs of shared cache servers (cmd/cached); keys are consistent-hashed across them, misses fall through, computed cells write back")
+	fs.IntVar(&c.Replicas, "cache-replicas", 0, "write each record to this many extra ring successors (and read through them); needs a -cache-remote fleet larger than the count")
 	fs.BoolVar(&c.Stats, "cache-stats", false, "print result-cache counters to stderr on exit")
 	fs.BoolVar(&c.Readonly, "cache-readonly", false, "consult the result cache but never write entries (local or remote)")
 	if withGC {
@@ -47,6 +49,12 @@ func (c *CLI) Validate() error {
 	}
 	if c.Readonly && c.Dir == "" && c.Remote == "" {
 		return fmt.Errorf("-cache-readonly requires -cache DIR or -cache-remote URL")
+	}
+	if c.Replicas != 0 && c.Remote == "" {
+		return fmt.Errorf("-cache-replicas needs a -cache-remote fleet to replicate across")
+	}
+	if c.Replicas < 0 || c.Replicas > maxReplicas {
+		return fmt.Errorf("-cache-replicas must be in [0, %d]", maxReplicas)
 	}
 	if c.MaxBytes < 0 {
 		return fmt.Errorf("-cache-max-bytes must be >= 0")
@@ -94,7 +102,7 @@ func (c *CLI) Open() (*Store, error) {
 		s.readonly = true
 	}
 	if c.Remote != "" {
-		if err := s.AttachRemote(c.Remote); err != nil {
+		if err := s.AttachRemoteFleet(c.Remote, c.Replicas); err != nil {
 			return nil, err
 		}
 	}

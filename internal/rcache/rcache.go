@@ -121,8 +121,24 @@ type Stats struct {
 	Dedup        int64 // blocked on an identical in-flight computation
 	Stores       int64 // records written to disk
 	Corrupt      int64 // unreadable or mismatched disk records discarded
-	RemoteStores int64 // write-backs acknowledged by the remote server
-	RemoteErrs   int64 // remote anomalies degraded to misses/drops (one tick latches a dead server down)
+	RemoteStores int64 // write-backs acknowledged by remote servers (fleet total)
+	RemoteErrs   int64 // remote anomalies degraded to misses/drops (fleet total; one tick latches a dead server down)
+
+	// Shards is the per-server breakdown of the remote tier, in ring
+	// (sorted canonical URL) order. Empty when no remote is attached.
+	Shards []ShardStats
+}
+
+// ShardStats is one cache server's view from this client: its counters and
+// whether the client currently has it latched down.
+type ShardStats struct {
+	URL     string
+	Gets    int64 // GET requests actually sent (latched short-circuits don't count)
+	Hits    int64 // GETs answered with a valid record
+	Errs    int64 // transport failures, bad statuses, corrupt responses, dropped write-backs
+	Stores  int64 // write-backs acknowledged
+	Latches int64 // up->down transitions observed
+	Latched bool  // currently latched down
 }
 
 // Lookups returns the total number of Do calls observed.
@@ -131,17 +147,29 @@ func (s Stats) Lookups() int64 { return s.MemHits + s.DiskHits + s.RemoteHits + 
 // Hits returns the lookups that avoided a fresh simulation.
 func (s Stats) Hits() int64 { return s.MemHits + s.DiskHits + s.RemoteHits + s.Dedup }
 
-// String renders the one-line summary cmd/sweep prints to stderr. The
-// hit-rate field is what the CI warm-cache smoke and shared-cache-e2e jobs
-// assert on; remote=N in the hits breakdown is the warmth that arrived over
-// the wire.
+// String renders the summary cmd/sweep prints to stderr. The first line —
+// its shape unchanged since PR 4 — is what the CI warm-cache smoke and
+// shared-cache-e2e jobs assert on; remote=N in the hits breakdown is the
+// warmth that arrived over the wire. With more than one shard attached, one
+// `rcache-shard[i]:` line per server follows, so fleet jobs can assert on
+// per-shard counters (e.g. `grep -c latched=true`).
 func (s Stats) String() string {
 	rate := 0.0
 	if n := s.Lookups(); n > 0 {
 		rate = 100 * float64(s.Hits()) / float64(n)
 	}
-	return fmt.Sprintf("rcache: lookups=%d hits=%d (mem=%d disk=%d remote=%d) misses=%d inflight-dedup=%d stores=%d corrupt=%d remote-stores=%d remote-errs=%d hit-rate=%.1f%%",
+	out := fmt.Sprintf("rcache: lookups=%d hits=%d (mem=%d disk=%d remote=%d) misses=%d inflight-dedup=%d stores=%d corrupt=%d remote-stores=%d remote-errs=%d hit-rate=%.1f%%",
 		s.Lookups(), s.Hits(), s.MemHits, s.DiskHits, s.RemoteHits, s.Misses, s.Dedup, s.Stores, s.Corrupt, s.RemoteStores, s.RemoteErrs, rate)
+	if len(s.Shards) > 1 {
+		var b strings.Builder
+		b.WriteString(out)
+		for i, sh := range s.Shards {
+			fmt.Fprintf(&b, "\nrcache-shard[%d]: url=%s gets=%d hits=%d errs=%d stores=%d latches=%d latched=%t",
+				i, sh.URL, sh.Gets, sh.Hits, sh.Errs, sh.Stores, sh.Latches, sh.Latched)
+		}
+		return b.String()
+	}
+	return out
 }
 
 // Store is a two-tier (memory + optional disk) memoization table with
@@ -188,17 +216,28 @@ func Open(dir string, readonly bool) (*Store, error) {
 	return s, nil
 }
 
-// AttachRemote layers a cached server (see cmd/cached) behind the disk
-// tier: lookups missing locally are fetched from it and filled into the
-// local store; computed cells are written back asynchronously. Call before
-// the first Do. Errors only reject a malformed URL — an unreachable server
-// is detected lazily and degrades the tier to all-misses rather than
-// failing anything.
-func (s *Store) AttachRemote(baseURL string) error {
+// AttachRemote layers one or more cached servers (see cmd/cached) behind
+// the disk tier: lookups missing locally are fetched from the fleet and
+// filled into the local store; computed cells are written back
+// asynchronously. urls is a comma-separated list; with more than one
+// server, keys are consistent-hashed across the fleet (see fleet.go).
+// Equivalent to AttachRemoteFleet(urls, 0).
+func (s *Store) AttachRemote(urls string) error {
+	return s.AttachRemoteFleet(urls, 0)
+}
+
+// AttachRemoteFleet is AttachRemote with write replication: every computed
+// cell is written back to its owning shard and its `replicas` distinct ring
+// successors, and reads fall through the same home set before declaring a
+// miss — so a lost shard's keys stay warm on its neighbors. Call before the
+// first Do. Errors reject malformed URLs, duplicate servers, and a replica
+// count the fleet can't honor — an unreachable server is detected lazily
+// and degrades that shard to misses rather than failing anything.
+func (s *Store) AttachRemoteFleet(urls string, replicas int) error {
 	if s.remote != nil {
 		return fmt.Errorf("rcache: remote already attached")
 	}
-	r, err := newRemote(baseURL)
+	r, err := newRemote(urls, replicas)
 	if err != nil {
 		return err
 	}
@@ -230,6 +269,7 @@ func (s *Store) Stats() Stats {
 	if s.remote != nil {
 		st.RemoteStores = s.remote.storesTotal()
 		st.RemoteErrs = s.remote.errsTotal()
+		st.Shards = s.remote.shardStats()
 	}
 	return st
 }
@@ -250,6 +290,21 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	if s.remote != nil {
 		r.CounterFunc("rcache_remote_stores_total", "", "write-backs acknowledged by remote servers", s.remote.storesTotal)
 		r.CounterFunc("rcache_remote_errors_total", "", "remote anomalies degraded to misses or drops", s.remote.errsTotal)
+		for _, t := range s.remote.servers {
+			t := t
+			labels := fmt.Sprintf("shard=%q", t.base)
+			r.CounterFunc("rcache_shard_gets_total", labels, "GET requests sent to this shard", t.gets.Load)
+			r.CounterFunc("rcache_shard_hits_total", labels, "valid records served by this shard", t.hits.Load)
+			r.CounterFunc("rcache_shard_errors_total", labels, "anomalies attributed to this shard", t.errs.Load)
+			r.CounterFunc("rcache_shard_stores_total", labels, "write-backs acknowledged by this shard", t.stores.Load)
+			r.CounterFunc("rcache_shard_latches_total", labels, "up->down transitions for this shard", t.latches.Load)
+			r.GaugeFunc("rcache_shard_latched", labels, "1 while this client has the shard latched down", func() float64 {
+				if t.latched() {
+					return 1
+				}
+				return 0
+			})
+		}
 	}
 }
 

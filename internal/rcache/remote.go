@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -87,10 +86,22 @@ func parseServerURL(raw string) (string, error) {
 	return (&url.URL{Scheme: u.Scheme, Host: u.Host}).String(), nil
 }
 
+// sharedHTTPTransport is one process-wide connection pool for every cache
+// server (http.Transport pools per host internally). Shared rather than
+// per-transport so stores that come and go — tests, short-lived CLIs —
+// reuse warm connections instead of leaking idle ones; deeper than the
+// default MaxIdleConnsPerHost of 2, which would churn TCP connections as
+// soon as more than two workers miss into the same shard at once.
+var sharedHTTPTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = 16
+	return t
+}()
+
 func newTransport(canonicalURL string) *transport {
 	return &transport{
 		base:   canonicalURL,
-		client: &http.Client{Timeout: remoteTimeout},
+		client: &http.Client{Timeout: remoteTimeout, Transport: sharedHTTPTransport},
 	}
 }
 
@@ -208,97 +219,4 @@ func (t *transport) put(key Key, body []byte) {
 		return
 	}
 	t.stores.Add(1)
-}
-
-type wbItem struct {
-	key  Key
-	body []byte
-}
-
-// remote is the tier Store.fill consults: one server (a fleet of them
-// arrives with fleet.go), plus the shared asynchronous write-back queue.
-//
-// Reads are read-through with local fill (a remote hit is persisted into the
-// local disk tier, so the next run doesn't need the network). Writes are
-// asynchronous write-back: computed cells are queued and PUT by background
-// workers while the sweep keeps simulating; Store.Close drains the queue so
-// short-lived CLI processes don't exit with results unsent. The queue is
-// bounded — if the server can't keep up, overflow write-backs are dropped
-// (and counted), never blocking the simulation path.
-type remote struct {
-	t *transport
-
-	mu     sync.Mutex // guards queue-vs-close
-	closed bool
-	queue  chan wbItem
-	wg     sync.WaitGroup
-}
-
-// writebackWorkers drains the queue concurrently so one slow PUT doesn't
-// convoy the rest; writebackQueue bounds the memory a burst of cold cells
-// can pin while the server lags.
-const (
-	writebackWorkers = 2
-	writebackQueue   = 512
-)
-
-func newRemote(baseURL string) (*remote, error) {
-	canon, err := parseServerURL(baseURL)
-	if err != nil {
-		return nil, err
-	}
-	r := &remote{
-		t:     newTransport(canon),
-		queue: make(chan wbItem, writebackQueue),
-	}
-	for i := 0; i < writebackWorkers; i++ {
-		r.wg.Add(1)
-		go r.worker()
-	}
-	return r, nil
-}
-
-func (r *remote) get(key Key) (metrics.Run, bool) { return r.t.get(key) }
-
-// put queues an asynchronous write-back of an already-encoded record. Never
-// blocks: a full queue drops the item (counted) — losing a write-back costs
-// a future recomputation, stalling the simulation path costs wall time now.
-func (r *remote) put(key Key, body []byte) {
-	if r.t.latched() {
-		return // designed degradation, not an error: the latch already counted
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return
-	}
-	select {
-	case r.queue <- wbItem{key, body}:
-	default:
-		r.t.errs.Add(1)
-	}
-}
-
-func (r *remote) worker() {
-	defer r.wg.Done()
-	for item := range r.queue {
-		r.t.put(item.key, item.body)
-	}
-}
-
-// storesTotal and errsTotal aggregate the per-server counters for Stats.
-func (r *remote) storesTotal() int64 { return r.t.stores.Load() }
-func (r *remote) errsTotal() int64   { return r.t.errs.Load() }
-
-// close drains pending write-backs and stops the workers. Safe to call more
-// than once; puts after close are dropped silently.
-func (r *remote) close() {
-	r.mu.Lock()
-	if !r.closed {
-		r.closed = true
-		close(r.queue)
-	}
-	r.mu.Unlock()
-	//repro:allow tokenhold shutdown drain on the CLI main goroutine via Store.Close, after every Stream has returned — no budget token is held here
-	r.wg.Wait()
 }
